@@ -1,0 +1,51 @@
+// Circstat prints size statistics and the delay fault universe for
+// circuits: either .bench files given as arguments, or (with no
+// arguments) the full Table 3 benchmark set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/netlist"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: circstat [file.bench ...]\n")
+		fmt.Fprintf(os.Stderr, "With no arguments, prints the Table 3 benchmark set.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Printf("%-8s %5s %5s %5s %7s %7s %9s %7s %7s %7s\n",
+			"circuit", "pi", "po", "dff", "gates", "stems", "branches", "lines", "faults", "depth")
+		for _, p := range bench.Profiles {
+			c := p.Circuit()
+			s := c.Stats()
+			note := " (synthetic)"
+			if p.Exact {
+				note = " (exact)"
+			}
+			fmt.Printf("%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d%s\n",
+				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, 2*s.Lines, s.MaxLevel, note)
+		}
+		return
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "circstat: %v\n", err)
+			os.Exit(1)
+		}
+		c, err := netlist.Parse(path, string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "circstat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(c.Stats())
+	}
+}

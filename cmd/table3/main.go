@@ -1,0 +1,67 @@
+// Table3 regenerates the paper's Table 3: for every benchmark circuit the
+// number of tested, untestable and aborted gate delay faults, the pattern
+// count and the generation time, using the paper's backtrack limits
+// (100 local + 100 sequential).
+//
+// All circuits except s27 are profile-calibrated synthetic reconstructions
+// (see internal/bench); absolute numbers are therefore comparable in shape,
+// not value. The paper's row is printed alongside each measured row.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/core"
+	"fogbuster/internal/logic"
+)
+
+func main() {
+	nonRobust := flag.Bool("nonrobust", false, "use the non-robust fault model (the paper's proposed relaxation)")
+	strict := flag.Bool("strict", false, "demand true synchronizing sequences (no assumed power-up state)")
+	only := flag.String("circuit", "", "run a single circuit by name (e.g. s27)")
+	noSim := flag.Bool("nofaultsim", false, "disable fault simulation credit")
+	flag.Parse()
+
+	alg := logic.Robust
+	if *nonRobust {
+		alg = logic.NonRobust
+	}
+
+	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model", alg.Name())
+	if *strict {
+		fmt.Printf(", strict initialization")
+	}
+	fmt.Println(")")
+	fmt.Printf("%-8s | %7s %7s %7s %7s %8s | %s\n",
+		"circuit", "tested", "untstbl", "aborted", "#pat", "time", "paper row (tested/untstbl/aborted/#pat/time)")
+
+	for _, p := range bench.Profiles {
+		if *only != "" && p.Name != *only {
+			continue
+		}
+		c, err := bench.Synthesize(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+			os.Exit(1)
+		}
+		sum := core.New(c, core.Options{
+			Algebra:         alg,
+			StrictInit:      *strict,
+			DisableFaultSim: *noSim,
+		}).Run()
+		note := ""
+		if !p.Exact {
+			note = " *"
+		}
+		if sum.ValidationFailures > 0 {
+			note += fmt.Sprintf(" (%d VALIDATION FAILURES)", sum.ValidationFailures)
+		}
+		fmt.Printf("%-8s | %7d %7d %7d %7d %7.2fs | %d / %d / %d / %d / %.0fs%s\n",
+			p.Name, sum.Tested, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime.Seconds(),
+			p.Paper.Tested, p.Paper.Untestable, p.Paper.Aborted, p.Paper.Patterns, p.Paper.Seconds, note)
+	}
+	fmt.Println("* synthetic reconstruction calibrated to the published size profile and the paper's fault totals")
+}

@@ -1,0 +1,115 @@
+// Tdatpg runs the full non-scan gate delay fault ATPG flow on an ISCAS'89
+// .bench netlist and reports the per-fault classification, optionally
+// dumping the generated test sequences.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fogbuster/internal/core"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+func main() {
+	nonRobust := flag.Bool("nonrobust", false, "use the non-robust fault model")
+	strict := flag.Bool("strict", false, "demand true synchronizing sequences")
+	localBT := flag.Int("local-backtracks", 100, "TDgen backtrack limit per fault")
+	seqBT := flag.Int("seq-backtracks", 100, "SEMILET backtrack limit per fault")
+	dump := flag.Bool("dump", false, "print every generated test sequence")
+	verbose := flag.Bool("v", false, "print the per-fault classification")
+	csvOut := flag.String("csv", "", "write the per-fault results and sequences to a CSV file")
+	varBudget := flag.Int("variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tdatpg [flags] circuit.bench")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+		os.Exit(1)
+	}
+	c, err := netlist.Parse(flag.Arg(0), string(data))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+		os.Exit(1)
+	}
+
+	alg := logic.Robust
+	if *nonRobust {
+		alg = logic.NonRobust
+	}
+	sum := core.New(c, core.Options{
+		Algebra:         alg,
+		LocalBacktracks: *localBT,
+		SeqBacktracks:   *seqBT,
+		StrictInit:      *strict,
+		VariationBudget: *varBudget,
+	}).Run()
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sum.WriteCSV(f, c); err != nil {
+			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println(c.Stats())
+	fmt.Printf("model=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
+		sum.Algebra, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime)
+	if sum.ValidationFailures > 0 {
+		fmt.Printf("WARNING: %d sequences failed independent validation\n", sum.ValidationFailures)
+	}
+	if *verbose || *dump {
+		for _, r := range sum.Results {
+			if !*verbose && r.Seq == nil {
+				continue
+			}
+			fmt.Printf("%-24s %s\n", r.Fault.Name(c), r.Status)
+			if *dump && r.Seq != nil {
+				printSeq(r.Seq)
+			}
+		}
+	}
+}
+
+func printSeq(t *core.TestSequence) {
+	for i, v := range t.Sync {
+		fmt.Printf("    sync[%d] %s (slow)\n", i, vec(v))
+	}
+	fmt.Printf("    V1      %s (slow)\n", vec(t.V1))
+	fmt.Printf("    V2      %s (FAST)\n", vec(t.V2))
+	for i, v := range t.Prop {
+		fmt.Printf("    prop[%d] %s (slow)\n", i, vec(v))
+	}
+	if t.ObservePO >= 0 {
+		fmt.Printf("    observe PO %d\n", t.ObservePO)
+	}
+	if t.Assumed != nil && sim.KnownCount(t.Assumed) > 0 {
+		fmt.Printf("    assumed power-up state %s\n", vec(t.Assumed))
+	}
+}
+
+func vec(v []sim.V3) string {
+	var sb strings.Builder
+	for _, b := range v {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

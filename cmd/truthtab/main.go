@@ -1,0 +1,57 @@
+// Truthtab prints the paper's Table 1 (AND gate) and Table 2 (inverter)
+// for the eight-valued robust delay fault algebra, and optionally the
+// derived OR/XOR tables or the non-robust variants.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fogbuster/internal/logic"
+)
+
+func main() {
+	nonRobust := flag.Bool("nonrobust", false, "print the non-robust algebra instead")
+	all := flag.Bool("all", false, "also print the derived OR and XOR tables")
+	flag.Parse()
+
+	alg := logic.Robust
+	if *nonRobust {
+		alg = logic.NonRobust
+	}
+
+	fmt.Printf("Table 1: truth table for AND gate (%s algebra)\n", alg.Name())
+	printTable(func(x, y logic.Value) logic.Value { return alg.And(x, y) })
+
+	fmt.Printf("\nTable 2: truth table for inverter\n      ")
+	for v := logic.Value(0); v < logic.NumValues; v++ {
+		fmt.Printf("%4s", v)
+	}
+	fmt.Printf("\n  NOT ")
+	for v := logic.Value(0); v < logic.NumValues; v++ {
+		fmt.Printf("%4s", alg.Not(v))
+	}
+	fmt.Println()
+
+	if *all {
+		fmt.Printf("\nDerived OR table (De Morgan dual)\n")
+		printTable(func(x, y logic.Value) logic.Value { return alg.Or(x, y) })
+		fmt.Printf("\nDerived XOR table\n")
+		printTable(func(x, y logic.Value) logic.Value { return alg.Xor(x, y) })
+	}
+}
+
+func printTable(op func(x, y logic.Value) logic.Value) {
+	fmt.Printf("      ")
+	for y := logic.Value(0); y < logic.NumValues; y++ {
+		fmt.Printf("%4s", y)
+	}
+	fmt.Println()
+	for x := logic.Value(0); x < logic.NumValues; x++ {
+		fmt.Printf("%4s |", x)
+		for y := logic.Value(0); y < logic.NumValues; y++ {
+			fmt.Printf("%4s", op(x, y))
+		}
+		fmt.Println()
+	}
+}

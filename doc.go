@@ -1,0 +1,13 @@
+// Package fogbuster is a from-scratch reproduction of "Gate Delay Fault
+// Test Generation for Non-Scan Circuits" (van Brakel, Gläser, Kerkhoff,
+// Vierhaus; ED&TC/DATE 1995): robust gate delay fault ATPG for synchronous
+// sequential circuits without scan, coupling the TDgen local two-frame
+// generator with the SEMILET/FOGBUSTER sequential engine and the
+// FAUSIM/TDsim fault simulators.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); command line tools live under cmd/ and runnable examples
+// under examples/. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation; EXPERIMENTS.md records the
+// measured results against the paper's.
+package fogbuster

@@ -1,0 +1,88 @@
+// Synchronize: use SEMILET standalone — reverse-time synchronization of a
+// counter to a target state, and FOGBUSTER sequential stuck-at test
+// generation, SEMILET's original role as a static-fault sequential ATPG.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/faults"
+	"fogbuster/internal/semilet"
+	"fogbuster/internal/sim"
+)
+
+func main() {
+	// Reverse time processing: drive the s208-style counter (synchronous
+	// clear, toggle cells, carry chain) into chosen states.
+	c := bench.ProfileByName("s208").Circuit()
+	fmt.Println(c.Stats())
+	net := sim.NewNet(c)
+	eng := semilet.NewEngine(net, semilet.Options{})
+
+	for _, trial := range []struct {
+		name string
+		bits string // one char per FF: 0, 1 or X
+	}{
+		{"all-zero (synchronous clear)", "00000000"},
+		{"counted to 3", "1100XXXX"},
+		{"single bit", "XXXX1XXX"},
+	} {
+		target := make([]sim.V3, len(c.DFFs))
+		for i, ch := range trial.bits {
+			switch ch {
+			case '0':
+				target[i] = sim.Lo
+			case '1':
+				target[i] = sim.Hi
+			default:
+				target[i] = sim.X
+			}
+		}
+		res, st := eng.Synchronize(target, semilet.NewBudget(100))
+		fmt.Printf("  synchronize %-30s -> %v", trial.name, st)
+		if st == semilet.Success {
+			fmt.Printf(" in %d frames", len(res.Vectors))
+			// Independent check from the all-X power-up state.
+			steps := net.SeqSim3(nil, res.Vectors)
+			if len(steps) > 0 {
+				fmt.Printf("; reached state %s", vec(steps[len(steps)-1].State))
+			}
+		}
+		fmt.Println()
+	}
+
+	// Sequential stuck-at generation on the shift register and s27.
+	fmt.Println("\nsequential stuck-at ATPG (FOGBUSTER):")
+	for _, tc := range []struct{ name string }{{"shift8"}, {"s27"}} {
+		var cc = bench.NewS27()
+		if tc.name == "shift8" {
+			cc = bench.ShiftRegister(8)
+		}
+		e := semilet.NewEngine(sim.NewNet(cc), semilet.Options{})
+		found, exhausted, aborted, vectors := 0, 0, 0, 0
+		for _, f := range faults.AllStuck(cc) {
+			res, st := e.GenerateStuck(f, semilet.NewBudget(100))
+			switch st {
+			case semilet.Success:
+				found++
+				vectors += len(res.Vectors)
+			case semilet.Exhausted:
+				exhausted++
+			default:
+				aborted++
+			}
+		}
+		fmt.Printf("  %-7s tested=%3d untestable=%3d aborted=%3d vectors=%d\n",
+			tc.name, found, exhausted, aborted, vectors)
+	}
+}
+
+func vec(v []sim.V3) string {
+	var sb strings.Builder
+	for _, b := range v {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,606 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fogbuster/internal/netlist"
+)
+
+// Synthesize builds the deterministic synthetic reconstruction for a
+// profile (or parses the embedded netlist for exact profiles). The result
+// always has exactly the profile's PI, PO and FF counts and exactly
+// TargetLines lines, so its delay fault universe matches the paper's
+// Table 3 row (faults = 2 x lines); this is verified by the tests.
+func Synthesize(p Profile) (*netlist.Circuit, error) {
+	if p.Exact {
+		switch p.Name {
+		case "s27":
+			return netlist.Parse(p.Name, S27)
+		}
+		return nil, fmt.Errorf("bench: no embedded netlist for exact profile %q", p.Name)
+	}
+	s := &synthesizer{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	return s.run()
+}
+
+// Circuit synthesizes the profile and panics on error; profiles are
+// compile-time data, so failure is a bug.
+func (p Profile) Circuit() *netlist.Circuit {
+	c, err := Synthesize(p)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return c
+}
+
+// Table3Circuits returns all Table 3 circuits in the paper's order.
+func Table3Circuits() []*netlist.Circuit {
+	cs := make([]*netlist.Circuit, len(Profiles))
+	for i, p := range Profiles {
+		cs[i] = p.Circuit()
+	}
+	return cs
+}
+
+// irGate is a gate under construction; fanins are signal indices.
+type irGate struct {
+	typ    netlist.GateType
+	fanins []int
+}
+
+// synthesizer holds the construction state. Signals are indexed densely:
+// PIs first, then FF outputs, then gate outputs in creation order. A gate
+// may only read strictly smaller gate-signal indices (plus any PI or FF
+// output), which guarantees combinational acyclicity by construction.
+//
+// Branch lines are tracked incrementally: connecting a gate to a source
+// with no gate consumer yet is free; a second gate consumer turns the
+// source into a fanout stem (+2 lines); further consumers cost +1 each.
+// Flip-flop D connections never create branches (see netlist.GateFanout).
+// The construction spends its branch budget (TargetLines minus stems)
+// adaptively and a final calibration pass lands exactly on target.
+type synthesizer struct {
+	p   Profile
+	rng *rand.Rand
+
+	gates    []irGate
+	gateFan  []int // non-DFF consumers per signal
+	dffFan   []int // DFF consumers per signal
+	ffD      []int // D-input signal index per FF, -1 until assigned
+	poSigs   []int
+	nSig     int // total signals so far: nPI + nFF + len(gates)
+	branches int
+	stageB0  int // Pipeline: first gate index allowed to read FF outputs
+}
+
+func (s *synthesizer) nPI() int { return s.p.PIs }
+func (s *synthesizer) nFF() int { return s.p.FFs }
+
+func (s *synthesizer) lines() int { return s.nSig + s.branches }
+
+// connCost returns how many lines connecting a gate input to src adds.
+func (s *synthesizer) connCost(src int) int {
+	switch s.gateFan[src] {
+	case 0:
+		return 0
+	case 1:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func (s *synthesizer) connectGate(src int) {
+	s.branches += s.connCost(src)
+	s.gateFan[src]++
+}
+
+func (s *synthesizer) addGate(t netlist.GateType, fanins ...int) int {
+	for _, f := range fanins {
+		s.connectGate(f)
+	}
+	s.gates = append(s.gates, irGate{typ: t, fanins: fanins})
+	s.gateFan = append(s.gateFan, 0)
+	s.dffFan = append(s.dffFan, 0)
+	s.nSig++
+	return s.nSig - 1
+}
+
+func (s *synthesizer) attachFF(ff, src int) {
+	s.ffD[ff] = src
+	s.dffFan[src]++
+}
+
+func (s *synthesizer) run() (*netlist.Circuit, error) {
+	s.nSig = s.nPI() + s.nFF()
+	s.gateFan = make([]int, s.nSig)
+	s.dffFan = make([]int, s.nSig)
+	s.ffD = make([]int, s.nFF())
+	for i := range s.ffD {
+		s.ffD[i] = -1
+	}
+
+	switch s.p.Style {
+	case Feedback:
+		s.buildFeedback()
+	case Pipeline:
+		s.buildPipeline()
+	default:
+		s.buildRandom(s.p.Gates, ranges{{0, s.nSig}}, 0)
+	}
+
+	s.assignFFInputs()
+	s.consumeDeadInputs()
+	s.selectPOs()
+	s.calibrateLines()
+	return s.emit()
+}
+
+// ranges is a list of half-open signal index intervals a gate may read.
+type ranges [][2]int
+
+func (r ranges) size() int {
+	n := 0
+	for _, iv := range r {
+		n += iv[1] - iv[0]
+	}
+	return n
+}
+
+func (r ranges) at(k int) int {
+	for _, iv := range r {
+		if w := iv[1] - iv[0]; k < w {
+			return iv[0] + k
+		} else {
+			k -= w
+		}
+	}
+	panic("bench: range index out of bounds")
+}
+
+func (s *synthesizer) randomGateType() netlist.GateType {
+	switch r := s.rng.Intn(100); {
+	case r < 24:
+		return netlist.Nand
+	case r < 40:
+		return netlist.Nor
+	case r < 54:
+		return netlist.And
+	case r < 68:
+		return netlist.Or
+	case r < 94:
+		return netlist.Not
+	default:
+		return netlist.Buf
+	}
+}
+
+func (s *synthesizer) randomArity(t netlist.GateType) int {
+	if t == netlist.Not || t == netlist.Buf {
+		return 1
+	}
+	switch r := s.rng.Intn(100); {
+	case r < 84:
+		return 2
+	case r < 97:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// pickSource chooses one fanin source within r, spending at most budget
+// extra lines and preferring free (yet-unconsumed) sources when the budget
+// is tight. It returns -1 only when r is empty.
+func (s *synthesizer) pickSource(r ranges, used map[int]bool, budget int) int {
+	n := r.size()
+	if n == 0 {
+		return -1
+	}
+	// Gather a small random sample and pick the best-priced candidate.
+	const sample = 12
+	best, bestCost := -1, 1<<30
+	wantSpend := budget >= 2 && s.rng.Intn(100) < 60
+	for k := 0; k < sample; k++ {
+		idx := r.at(s.rng.Intn(n))
+		if used[idx] {
+			continue
+		}
+		cost := s.connCost(idx)
+		if wantSpend {
+			// Spend the budget: prefer the costliest affordable source.
+			if cost <= budget && (best == -1 || cost > bestCost) {
+				best, bestCost = idx, cost
+			}
+		} else if cost <= budget && cost < bestCost {
+			best, bestCost = idx, cost
+			if cost == 0 {
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Nothing affordable in the sample: a deterministic scan for a free
+	// source, then the cheapest source seen at all.
+	if idx := s.findFreeInRanges(r, used); idx >= 0 {
+		return idx
+	}
+	for k := 0; k < 4*sample; k++ {
+		idx := r.at(s.rng.Intn(n))
+		if used[idx] {
+			continue
+		}
+		if cost := s.connCost(idx); cost < bestCost {
+			best, bestCost = idx, cost
+			if cost == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// findFreeInRanges scans (from a random start) for a completely unconsumed
+// source within r, returning -1 if none exists.
+func (s *synthesizer) findFreeInRanges(r ranges, used map[int]bool) int {
+	n := r.size()
+	if n == 0 {
+		return -1
+	}
+	start := s.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		idx := r.at((start + k) % n)
+		if !used[idx] && s.gateFan[idx] == 0 && s.dffFan[idx] == 0 {
+			return idx
+		}
+	}
+	return -1
+}
+
+// buildRandom creates n random gates whose fanins come from r plus the
+// gates it creates itself. future is the number of gates other build
+// phases will still add; their stems (plus a slack for PO funnelling) are
+// reserved so the branch budget is never overspent — the final calibration
+// pass only ever needs to grow, which it can do exactly.
+func (s *synthesizer) buildRandom(n int, r ranges, future int) {
+	firstNew := s.nSig
+	slack := 12 + s.nFF()/4 + s.p.POs/4
+	for built := 0; built < n; built++ {
+		t := s.randomGateType()
+		if s.p.TargetLines-s.lines()-(n-built)-future-slack <= 0 {
+			// Branch budget exhausted: unary gates consume one signal and
+			// produce one, keeping the free pool balanced, so the rest of
+			// the construction stays branch-neutral. Real ISCAS circuits
+			// are similarly inverter-heavy.
+			if t != netlist.Buf || s.rng.Intn(100) < 85 {
+				t = netlist.Not
+			}
+		}
+		arity := s.randomArity(t)
+		pool := append(ranges{}, r...)
+		if s.nSig > firstNew {
+			pool = append(pool, [2]int{firstNew, s.nSig})
+		}
+		used := make(map[int]bool, arity)
+		fanins := make([]int, 0, arity)
+		for len(fanins) < arity {
+			budget := s.p.TargetLines - s.lines() - (n - built) - future - slack
+			src := s.pickSource(pool, used, budget)
+			if src < 0 {
+				break
+			}
+			used[src] = true
+			fanins = append(fanins, src)
+		}
+		if len(fanins) == 0 {
+			continue
+		}
+		if len(fanins) == 1 && t != netlist.Not && t != netlist.Buf {
+			t = netlist.Not
+		}
+		s.addGate(t, fanins...)
+	}
+}
+
+// buildFeedback creates a synchronous counter with a carry chain and a
+// synchronous clear (the s208/s420/s838 structure), plus random decode
+// logic over the counter bits and the spare PIs.
+func (s *synthesizer) buildFeedback() {
+	en, clr := 0, 1 // I0 = enable, I1 = clear
+	ffSig := func(i int) int { return s.nPI() + i }
+
+	nclr := s.addGate(netlist.Not, clr)
+	t := en
+	for i := 0; i < s.nFF(); i++ {
+		nt := s.addGate(netlist.Not, t)
+		ns := s.addGate(netlist.Not, ffSig(i))
+		a1 := s.addGate(netlist.And, ffSig(i), nt)
+		a2 := s.addGate(netlist.And, ns, t)
+		o := s.addGate(netlist.Or, a1, a2)
+		d := s.addGate(netlist.And, o, nclr)
+		s.attachFF(i, d)
+		if i < s.nFF()-1 {
+			t = s.addGate(netlist.And, t, ffSig(i))
+		}
+	}
+	if rest := s.p.Gates - len(s.gates); rest > 0 {
+		s.buildRandom(rest, ranges{{0, s.nSig}}, 0)
+	}
+}
+
+// buildPipeline creates two combinational stages separated by the state
+// register with no feedback: stage A reads only PIs and stage-A gates and
+// feeds the flip-flops; stage B reads FF outputs, PIs and stage-B gates
+// and feeds the POs.
+func (s *synthesizer) buildPipeline() {
+	nA := s.p.Gates * 45 / 100
+	firstA := s.nSig
+	s.buildRandom(nA, ranges{{0, s.nPI()}}, s.p.Gates-nA)
+	// FF D-inputs from the stage-A frontier (free sources).
+	for i := 0; i < s.nFF(); i++ {
+		d := -1
+		for idx := s.nSig - 1; idx >= firstA; idx-- {
+			if s.gateFan[idx] == 0 && s.dffFan[idx] == 0 {
+				d = idx
+				break
+			}
+		}
+		if d < 0 {
+			d = firstA + s.rng.Intn(s.nSig-firstA)
+		}
+		s.attachFF(i, d)
+	}
+	s.stageB0 = len(s.gates)
+	s.buildRandom(s.p.Gates-nA, ranges{{0, s.nSig}}, 0)
+}
+
+// assignFFInputs gives every still-unassigned flip-flop a D input,
+// preferring unconsumed gate outputs.
+func (s *synthesizer) assignFFInputs() {
+	firstGate := s.nPI() + s.nFF()
+	next := s.nSig - 1
+	for i := range s.ffD {
+		if s.ffD[i] >= 0 {
+			continue
+		}
+		d := -1
+		for ; next >= firstGate; next-- {
+			if s.gateFan[next] == 0 && s.dffFan[next] == 0 {
+				d = next
+				next--
+				break
+			}
+		}
+		if d < 0 {
+			d = firstGate + s.rng.Intn(s.nSig-firstGate)
+		}
+		s.attachFF(i, d)
+	}
+}
+
+// consumeDeadInputs wires every unused primary input and flip-flop output
+// into some gate so the circuit has no floating sources; the connection is
+// free (no branch).
+func (s *synthesizer) consumeDeadInputs() {
+	for src := 0; src < s.nPI()+s.nFF(); src++ {
+		if s.gateFan[src] > 0 || s.dffFan[src] > 0 {
+			continue
+		}
+		if g := s.pickWideGateAfter(src); g >= 0 {
+			s.gates[g].fanins = append(s.gates[g].fanins, src)
+			s.connectGate(src)
+		}
+	}
+}
+
+// selectPOs chooses exactly p.POs outputs. Unconsumed gate outputs become
+// POs first; an excess of them is funnelled through NAND pairs so no gate
+// is left dead; a shortage is filled with random late gates.
+func (s *synthesizer) selectPOs() {
+	firstGate := s.nPI() + s.nFF()
+	var cand []int
+	for i := firstGate; i < s.nSig; i++ {
+		if s.gateFan[i] == 0 && s.dffFan[i] == 0 {
+			cand = append(cand, i)
+		}
+	}
+	for len(cand) > s.p.POs {
+		a, b := cand[0], cand[1]
+		cand = cand[2:]
+		cand = append(cand, s.addGate(netlist.Nand, a, b))
+	}
+	for len(cand) < s.p.POs {
+		idx := firstGate + s.rng.Intn(s.nSig-firstGate)
+		dup := false
+		for _, c := range cand {
+			if c == idx {
+				dup = true
+			}
+		}
+		if !dup {
+			cand = append(cand, idx)
+		}
+	}
+	s.poSigs = cand
+}
+
+// calibrateLines adds or removes fanout connections until the circuit has
+// exactly TargetLines lines.
+func (s *synthesizer) calibrateLines() {
+	for guard := 0; s.lines() < s.p.TargetLines && guard < 1_000_000; guard++ {
+		need := s.p.TargetLines - s.lines()
+		src := -1
+		if need == 1 {
+			src = s.findSourceWithGateFan(2, 1<<30)
+		}
+		if src < 0 {
+			src = s.findSourceWithGateFan(1, 1)
+		}
+		if src < 0 {
+			src = s.findSourceWithGateFan(2, 1<<30)
+		}
+		if src < 0 {
+			break
+		}
+		g := s.pickWideGateAfter(src)
+		if g < 0 {
+			continue
+		}
+		s.gates[g].fanins = append(s.gates[g].fanins, src)
+		s.connectGate(src)
+	}
+	for guard := 0; s.lines() > s.p.TargetLines && guard < 1_000_000; guard++ {
+		if !s.dropOneConnection(s.lines() - s.p.TargetLines) {
+			break
+		}
+	}
+}
+
+// findSourceWithGateFan returns a random signal whose gate fanout lies in
+// [lo, hi], or -1.
+func (s *synthesizer) findSourceWithGateFan(lo, hi int) int {
+	start := s.rng.Intn(s.nSig)
+	for k := 0; k < s.nSig; k++ {
+		i := (start + k) % s.nSig
+		if s.gateFan[i] >= lo && s.gateFan[i] <= hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickWideGateAfter returns a random AND/NAND/OR/NOR gate whose output
+// signal index exceeds src (preserving acyclicity), or -1. In pipeline
+// circuits a flip-flop output may only feed stage B, so adding fanout
+// never creates feedback.
+func (s *synthesizer) pickWideGateAfter(src int) int {
+	firstGate := s.nPI() + s.nFF()
+	loGate := 0
+	if src >= firstGate {
+		loGate = src - firstGate + 1
+	} else if s.p.Style == Pipeline && src >= s.nPI() {
+		loGate = s.stageB0
+	}
+	if loGate >= len(s.gates) {
+		return -1
+	}
+	n := len(s.gates) - loGate
+	start := s.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		g := loGate + (start+k)%n
+		switch s.gates[g].typ {
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			if len(s.gates[g].fanins) < 9 && !s.hasFanin(g, src) {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+func (s *synthesizer) hasFanin(g, src int) bool {
+	for _, f := range s.gates[g].fanins {
+		if f == src {
+			return true
+		}
+	}
+	return false
+}
+
+// dropOneConnection removes one surplus fanin from a multi-input gate; the
+// source keeps at least one gate consumer. Removing from a two-consumer
+// source recovers two lines; from a wider one, one line. A 2-input gate
+// that loses a fanin degenerates into a buffer or inverter.
+func (s *synthesizer) dropOneConnection(need int) bool {
+	try := func(wantTwo, allowDegenerate bool) bool {
+		start := s.rng.Intn(len(s.gates))
+		for k := 0; k < len(s.gates); k++ {
+			g := (start + k) % len(s.gates)
+			ir := &s.gates[g]
+			minArity := 3
+			if allowDegenerate {
+				minArity = 2
+			}
+			if len(ir.fanins) < minArity {
+				continue
+			}
+			switch ir.typ {
+			case netlist.And, netlist.Nand, netlist.Or, netlist.Nor:
+			default:
+				continue
+			}
+			for fi, src := range ir.fanins {
+				if wantTwo && s.gateFan[src] != 2 {
+					continue
+				}
+				if !wantTwo && s.gateFan[src] < 3 {
+					continue
+				}
+				ir.fanins = append(ir.fanins[:fi], ir.fanins[fi+1:]...)
+				s.gateFan[src]--
+				if s.gateFan[src] == 1 {
+					s.branches -= 2
+				} else {
+					s.branches--
+				}
+				if len(ir.fanins) == 1 {
+					if ir.typ == netlist.Nand || ir.typ == netlist.Nor {
+						ir.typ = netlist.Not
+					} else {
+						ir.typ = netlist.Buf
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for _, degenerate := range []bool{false, true} {
+		if need >= 2 && try(true, degenerate) {
+			return true
+		}
+		if try(false, degenerate) {
+			return true
+		}
+		if try(true, degenerate) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit converts the IR into a netlist.Circuit.
+func (s *synthesizer) emit() (*netlist.Circuit, error) {
+	name := func(idx int) string {
+		switch {
+		case idx < s.nPI():
+			return fmt.Sprintf("I%d", idx)
+		case idx < s.nPI()+s.nFF():
+			return fmt.Sprintf("S%d", idx-s.nPI())
+		default:
+			return fmt.Sprintf("n%d", idx-s.nPI()-s.nFF())
+		}
+	}
+	b := netlist.NewBuilder(s.p.Name)
+	for i := 0; i < s.nPI(); i++ {
+		b.Input(name(i))
+	}
+	for i := 0; i < s.nFF(); i++ {
+		b.DFF(name(s.nPI()+i), name(s.ffD[i]))
+	}
+	firstGate := s.nPI() + s.nFF()
+	for gi, g := range s.gates {
+		fanins := make([]string, len(g.fanins))
+		for j, f := range g.fanins {
+			fanins[j] = name(f)
+		}
+		b.Gate(name(firstGate+gi), g.typ, fanins...)
+	}
+	for _, po := range s.poSigs {
+		b.Output(name(po))
+	}
+	return b.Build()
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+
+	"fogbuster/internal/netlist"
+)
+
+func TestEmbeddedCircuits(t *testing.T) {
+	s27 := NewS27()
+	if s := s27.Stats(); s.Lines != 25 || s.DFFs != 3 || s.PIs != 4 || s.POs != 1 {
+		t.Fatalf("s27 stats: %+v", s)
+	}
+	c17 := NewC17()
+	if s := c17.Stats(); s.Lines != 17 || s.DFFs != 0 || s.Gates != 6 {
+		t.Fatalf("c17 stats: %+v", s)
+	}
+}
+
+// TestProfilesMatchPaperFaultTotals checks the calibration table itself:
+// TargetLines must equal the paper's fault total divided by two.
+func TestProfilesMatchPaperFaultTotals(t *testing.T) {
+	for _, p := range Profiles {
+		if p.Paper.Faults() != 2*p.TargetLines {
+			t.Errorf("%s: paper faults %d != 2*TargetLines %d", p.Name, p.Paper.Faults(), p.TargetLines)
+		}
+	}
+}
+
+// TestSynthesizedProfiles verifies that every synthetic circuit hits its
+// profile exactly where it matters: PI/PO/FF counts and the line count
+// that determines the fault universe of the paper's Table 3.
+func TestSynthesizedProfiles(t *testing.T) {
+	for _, p := range Profiles {
+		c, err := Synthesize(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := c.Stats()
+		if s.PIs != p.PIs || s.POs != p.POs || s.DFFs != p.FFs {
+			t.Errorf("%s: pi/po/ff = %d/%d/%d, want %d/%d/%d",
+				p.Name, s.PIs, s.POs, s.DFFs, p.PIs, p.POs, p.FFs)
+		}
+		if s.Lines != p.TargetLines {
+			t.Errorf("%s: lines = %d, want %d", p.Name, s.Lines, p.TargetLines)
+		}
+		if !p.Exact {
+			if dev := s.Gates - p.Gates; dev < -p.Gates/4 || dev > p.Gates/4 {
+				t.Errorf("%s: gates = %d, too far from published %d", p.Name, s.Gates, p.Gates)
+			}
+		}
+		if s.MaxLevel > 100 {
+			t.Errorf("%s: depth %d unrealistically large", p.Name, s.MaxLevel)
+		}
+		// No dead logic: every non-PO signal must have a consumer.
+		for i := range c.Nodes {
+			n := &c.Nodes[i]
+			if len(n.Fanout) == 0 && !n.IsPO {
+				t.Errorf("%s: dead signal %s", p.Name, n.Name)
+			}
+		}
+	}
+}
+
+// TestSynthesisDeterministic: the same profile must synthesize the same
+// netlist every time, or Table 3 would not be reproducible.
+func TestSynthesisDeterministic(t *testing.T) {
+	for _, p := range Profiles {
+		if p.Exact {
+			continue
+		}
+		a := p.Circuit().Bench()
+		b := p.Circuit().Bench()
+		if a != b {
+			t.Fatalf("%s: synthesis is not deterministic", p.Name)
+		}
+	}
+}
+
+// TestPipelineHasNoFeedback: pipeline-style circuits must have no path
+// from a flip-flop output back into any flip-flop's D input.
+func TestPipelineHasNoFeedback(t *testing.T) {
+	for _, p := range Profiles {
+		if p.Style != Pipeline || p.Exact {
+			continue
+		}
+		c := p.Circuit()
+		// Mark everything reachable from FF outputs going forward.
+		reach := make([]bool, c.NumNodes())
+		var mark func(id netlist.NodeID)
+		mark = func(id netlist.NodeID) {
+			if reach[id] {
+				return
+			}
+			reach[id] = true
+			for _, f := range c.Node(id).Fanout {
+				if c.Node(f).Type != netlist.DFF {
+					mark(f)
+				}
+			}
+		}
+		for _, ff := range c.DFFs {
+			mark(ff)
+		}
+		for _, ppo := range c.PPOs() {
+			if reach[ppo] {
+				t.Errorf("%s: feedback path into PPO %s", p.Name, c.Node(ppo).Name)
+			}
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rca := RippleCarryAdder(4)
+	if s := rca.Stats(); s.PIs != 9 || s.POs != 5 || s.Gates != 5*4 {
+		t.Fatalf("rca4 stats: %+v", s)
+	}
+	sh := ShiftRegister(8)
+	if s := sh.Stats(); s.DFFs != 8 || s.PIs != 1 || s.POs != 1 {
+		t.Fatalf("shift8 stats: %+v", s)
+	}
+	if ProfileByName("s838") == nil || ProfileByName("nope") != nil {
+		t.Fatal("ProfileByName broken")
+	}
+	if Feedback.String() != "feedback" || Pipeline.String() != "pipeline" || Mixed.String() != "mixed" {
+		t.Fatal("Style.String broken")
+	}
+	if got := len(Table3Circuits()); got != len(Profiles) {
+		t.Fatalf("Table3Circuits len = %d", got)
+	}
+}

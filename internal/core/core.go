@@ -1,0 +1,260 @@
+// Package core implements the combined gate delay fault ATPG system for
+// non-scan sequential circuits: the paper's extended FOGBUSTER flow
+// (Figure 4) coupling TDgen (local two-frame robust test generation) with
+// SEMILET (forward fault effect propagation, reverse-time synchronization)
+// and the fault simulators FAUSIM and TDsim.
+//
+// For every fault the engine runs the paper's steps: local test
+// generation; propagation of the fault effect to a primary output when it
+// only reached the state register; synchronization of the required initial
+// state; with backtracking between the steps (a failed sequential phase
+// demands the next local test from the resumable generator). After each
+// successful generation the assembled sequence is fault simulated and all
+// additionally detected faults are dropped from the target list.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"fogbuster/internal/faults"
+	"fogbuster/internal/fausim"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/semilet"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/tdsim"
+	"fogbuster/internal/testability"
+	"fogbuster/internal/timing"
+)
+
+// Status classifies one fault at the end of the run, mirroring the
+// columns of the paper's Table 3 (tested subsumes both explicit and
+// simulation-credited detections).
+type Status uint8
+
+const (
+	// Pending means the fault has not been processed yet.
+	Pending Status = iota
+	// Tested means a test sequence was explicitly generated.
+	Tested
+	// TestedBySim means fault simulation of another fault's sequence
+	// detected this fault, so it was never explicitly targeted.
+	TestedBySim
+	// Untestable means the complete search space holds no robust test
+	// (combinationally redundant or sequentially untestable).
+	Untestable
+	// Aborted means a backtrack budget ran out first.
+	Aborted
+)
+
+// String returns a short label.
+func (s Status) String() string {
+	switch s {
+	case Tested:
+		return "tested"
+	case TestedBySim:
+		return "tested(sim)"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	default:
+		return "pending"
+	}
+}
+
+// Detected reports whether the status counts into the paper's "tested"
+// column.
+func (s Status) Detected() bool { return s == Tested || s == TestedBySim }
+
+// Options configures an Engine. The zero value reproduces the paper's
+// setup: robust algebra and 100+100 backtrack limits.
+type Options struct {
+	// Algebra selects the fault model; nil means logic.Robust.
+	Algebra *logic.Algebra
+	// LocalBacktracks is TDgen's per-fault budget; 0 means 100.
+	LocalBacktracks int
+	// SeqBacktracks is SEMILET's per-fault budget, shared by propagation
+	// and synchronization across all local alternatives; 0 means 100.
+	SeqBacktracks int
+	// MaxFrames bounds propagation and synchronization depth; 0 means 32.
+	MaxFrames int
+	// DisableFaultSim turns off the post-generation fault simulation
+	// credit (every fault is then explicitly targeted).
+	DisableFaultSim bool
+	// DisableValidation skips the independent end-to-end check of each
+	// generated sequence.
+	DisableValidation bool
+	// StrictInit demands true synchronizing sequences from the all-X
+	// power-up state. The default (optimistic) policy follows the 1990s
+	// convention the paper's s27 numbers imply: state bits that no input
+	// sequence can force are assumed as power-up values. Several ISCAS'89
+	// machines have such bits (s27's G7=0 is reachable only from G7=0),
+	// and under the strict policy their robust delay fault coverage
+	// collapses; see EXPERIMENTS.md for the analysis.
+	StrictInit bool
+	// VariationBudget enables the paper's future-work timing refinement
+	// (arrival and stabilization time analysis). Zero (the default) keeps
+	// the pure robust handoff: transitioning or hazardous PPO values are
+	// never passed to the sequential engine. A value v > 0 allows handing
+	// over the final value of any PPO whose stabilization slack against
+	// the fast clock period is at least v delay units: such a signal
+	// settles before the fast capture edge even when fault-free paths run
+	// almost v units slower than nominal. Small v approaches the
+	// non-robust handoff.
+	VariationBudget int
+	// Seed drives the random X-fill; the default 0 is a fixed seed.
+	Seed int64
+}
+
+// TestSequence is one complete delay fault test in the paper's time-frame
+// model (Figure 2): initialization vectors under the slow clock, the
+// two-pattern local test V1 (slow) and V2 (fast), and the propagation
+// vectors under the slow clock. X entries are don't-cares.
+type TestSequence struct {
+	Fault      faults.Delay
+	Sync       [][]sim.V3
+	V1, V2     []sim.V3
+	Prop       [][]sim.V3
+	ObservePO  int // PO index observing the effect, or -1
+	ObservePPO int // FF index capturing the effect, or -1
+	// Assumed holds power-up state bits the optimistic initialization
+	// policy committed to; nil for strictly synchronized tests.
+	Assumed []sim.V3
+}
+
+// Len returns the vector count, the paper's per-test pattern cost
+// (initialization and propagation included).
+func (t *TestSequence) Len() int { return len(t.Sync) + 2 + len(t.Prop) }
+
+// Vectors flattens the sequence in application order.
+func (t *TestSequence) Vectors() [][]sim.V3 {
+	out := make([][]sim.V3, 0, t.Len())
+	out = append(out, t.Sync...)
+	out = append(out, t.V1, t.V2)
+	out = append(out, t.Prop...)
+	return out
+}
+
+// FaultResult is the outcome for one fault.
+type FaultResult struct {
+	Fault  faults.Delay
+	Status Status
+	Seq    *TestSequence // non-nil only for explicitly tested faults
+}
+
+// Summary aggregates one run in the shape of a Table 3 row.
+type Summary struct {
+	Circuit    string
+	Algebra    string
+	Results    []FaultResult
+	Tested     int // explicit + simulation credit
+	Explicit   int
+	Untestable int
+	Aborted    int
+	Patterns   int // total vectors over all generated sequences
+	Runtime    time.Duration
+	// ValidationFailures counts generated sequences the independent
+	// checker rejected; it must be zero and exists as a self-check.
+	ValidationFailures int
+}
+
+// Engine runs the combined flow over a circuit.
+type Engine struct {
+	c    *netlist.Circuit
+	net  *sim.Net
+	opts Options
+	alg  *logic.Algebra
+	meas *testability.Measures
+	sem  *semilet.Engine
+	td   *tdsim.Sim
+	fs   *fausim.Sim
+	rng  *rand.Rand
+	tim  *timing.Analysis // nil unless VariationBudget >= 0
+
+	status  []Status
+	index   map[faults.Delay]int
+	valFail int
+}
+
+// New prepares an engine for the circuit.
+func New(c *netlist.Circuit, opts Options) *Engine {
+	if opts.Algebra == nil {
+		opts.Algebra = logic.Robust
+	}
+	if opts.LocalBacktracks == 0 {
+		opts.LocalBacktracks = 100
+	}
+	if opts.SeqBacktracks == 0 {
+		opts.SeqBacktracks = 100
+	}
+	net := sim.NewNet(c)
+	meas := testability.Compute(c)
+	e := &Engine{
+		c:    c,
+		net:  net,
+		opts: opts,
+		alg:  opts.Algebra,
+		meas: meas,
+		sem:  semilet.NewEngine(net, semilet.Options{MaxFrames: opts.MaxFrames, Meas: meas}),
+		td:   tdsim.New(net, opts.Algebra),
+		fs:   fausim.New(net),
+		rng:  rand.New(rand.NewSource(opts.Seed + 1)),
+	}
+	if opts.VariationBudget > 0 {
+		e.tim = timing.Analyze(c, nil)
+	}
+	return e
+}
+
+// Run processes the complete delay fault universe in line order and
+// returns the summary.
+func (e *Engine) Run() *Summary {
+	start := time.Now()
+	all := faults.AllDelay(e.c)
+	e.status = make([]Status, len(all))
+	e.index = make(map[faults.Delay]int, len(all))
+	for i, f := range all {
+		e.index[f] = i
+	}
+
+	sum := &Summary{Circuit: e.c.Name, Algebra: e.alg.Name()}
+	sum.Results = make([]FaultResult, len(all))
+	for i, f := range all {
+		sum.Results[i].Fault = f
+	}
+
+	for i, f := range all {
+		if e.status[i] != Pending {
+			continue
+		}
+		seq, st := e.generate(f)
+		e.status[i] = st
+		if st == Tested {
+			sum.Results[i].Seq = seq
+			sum.Patterns += seq.Len()
+			if !e.opts.DisableFaultSim {
+				e.credit(seq)
+			}
+		}
+	}
+
+	for i := range all {
+		sum.Results[i].Status = e.status[i]
+		switch e.status[i] {
+		case Tested:
+			sum.Tested++
+			sum.Explicit++
+		case TestedBySim:
+			sum.Tested++
+		case Untestable:
+			sum.Untestable++
+		case Aborted:
+			sum.Aborted++
+		}
+	}
+	sum.ValidationFailures = e.valFail
+	sum.Runtime = time.Since(start)
+	return sum
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fogbuster/internal/faults"
+	"fogbuster/internal/fausim"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/semilet"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/tdgen"
+	"fogbuster/internal/tdsim"
+)
+
+// generate runs the extended FOGBUSTER flow (Figure 4) for one fault:
+// local test generation, then — if the effect only reached the state
+// register — forward propagation to a PO, then synchronization of the
+// required initial state. A failure in a sequential phase backtracks into
+// the local generator for the next distinct local test.
+func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
+	gen := tdgen.New(e.net, f, e.meas, tdgen.Options{
+		Algebra:       e.alg,
+		MaxBacktracks: e.opts.LocalBacktracks,
+	})
+	budget := semilet.NewBudget(e.opts.SeqBacktracks)
+
+	for {
+		sol, st := gen.Next()
+		switch st {
+		case tdgen.Untestable:
+			return nil, Untestable
+		case tdgen.Aborted:
+			return nil, Aborted
+		}
+
+		seq := &TestSequence{
+			Fault:      f,
+			V1:         sol.V1,
+			V2:         sol.V2,
+			ObservePO:  sol.ObservePO,
+			ObservePPO: sol.ObservePPO,
+		}
+
+		// Forward propagation phase: only needed when the local test
+		// observes the effect at a PPO.
+		if sol.ObservePO < 0 {
+			prop, pst := e.sem.Propagate(e.handoff(sol), budget)
+			if pst == semilet.Aborted {
+				return nil, Aborted
+			}
+			if pst != semilet.Success {
+				continue // backtrack into the local generator
+			}
+			seq.Prop = prop.Vectors
+			seq.ObservePO = prop.PO
+		}
+
+		// Initialization phase: a synchronizing sequence to the required
+		// state of the local test.
+		sync, sst := e.sem.SynchronizeWith(sol.State0, budget, !e.opts.StrictInit)
+		if sst == semilet.Aborted {
+			return nil, Aborted
+		}
+		if sst != semilet.Success {
+			continue
+		}
+		seq.Sync = sync.Vectors
+		seq.Assumed = sync.Assumed
+
+		if !e.opts.DisableValidation && !e.validate(seq) {
+			e.valFail++
+			continue
+		}
+		return seq, Tested
+	}
+}
+
+// handoff returns the state knowledge passed to the propagation phase.
+// With the timing refinement enabled (the paper's future work), PPOs the
+// robust model could not specify are lifted to known final values when
+// they are fault-free, settle to a uniform value, and stabilize with at
+// least VariationBudget delay units of slack before the fast capture
+// edge.
+func (e *Engine) handoff(sol *tdgen.Solution) []sim.V5 {
+	if e.tim == nil {
+		return sol.PPOFinal
+	}
+	lifted := append([]sim.V5(nil), sol.PPOFinal...)
+	for i, ppo := range e.c.PPOs() {
+		if lifted[i] != sim.X5 {
+			continue
+		}
+		set := sol.Sets[ppo]
+		if set.Empty() || set&logic.CarrySet != 0 {
+			continue
+		}
+		if e.tim.Slack(ppo) < int32(e.opts.VariationBudget) {
+			continue
+		}
+		var fin [2]bool
+		for _, v := range set.Values() {
+			fin[v.Final()] = true
+		}
+		switch {
+		case fin[1] && !fin[0]:
+			lifted[i] = sim.O5
+		case fin[0] && !fin[1]:
+			lifted[i] = sim.Z5
+		}
+	}
+	return lifted
+}
+
+// fastFrame fills the sequence's don't-cares and derives the concrete
+// two-frame situation of the fast clock cycle, simulating the good
+// machine from a random power-up state through the initialization and the
+// initial time frame (the paper's fault simulation phase 1).
+func (e *Engine) fastFrame(seq *TestSequence) *tdsim.FastFrame {
+	state := make([]sim.V3, len(e.c.DFFs))
+	for i := range state {
+		if seq.Assumed != nil && seq.Assumed[i].Known() {
+			state[i] = seq.Assumed[i]
+		} else {
+			state[i] = sim.V3(e.rng.Intn(2))
+		}
+	}
+	syncV := fausim.FillSequence(seq.Sync, e.rng)
+	if len(syncV) > 0 {
+		steps := e.net.SeqSim3(state, syncV)
+		state = steps[len(steps)-1].State
+	}
+	for i := range state {
+		if state[i] == sim.X {
+			state[i] = sim.V3(e.rng.Intn(2))
+		}
+	}
+	v1 := sim.XFill(seq.V1, e.rng)
+	v2 := sim.XFill(seq.V2, e.rng)
+	f1 := e.net.LoadFrame(v1, state)
+	e.net.Eval3(f1, nil)
+	s1 := e.net.NextState3(f1, nil)
+	for i := range s1 {
+		if s1[i] == sim.X {
+			s1[i] = sim.V3(e.rng.Intn(2))
+		}
+	}
+	return &tdsim.FastFrame{
+		V1: v1, V2: v2,
+		S0: state, S1: s1,
+		Prop: fausim.FillSequence(seq.Prop, e.rng),
+	}
+}
+
+// validate replays the generated sequence with the fault injected and
+// checks that the promised observation really happens: robust carrying at
+// a PO in the fast frame, or a good/faulty difference at a PO after the
+// propagation frames. The checker shares no code with the generator's
+// search (it uses the concrete simulators), so it is an independent
+// witness.
+func (e *Engine) validate(seq *TestSequence) bool {
+	ff := e.fastFrame(seq)
+	goodS2 := make([]sim.V3, len(e.c.DFFs))
+	vals := e.td.Values(ff)
+	for i, ppo := range e.c.PPOs() {
+		goodS2[i] = sim.V3(vals[ppo].Final())
+	}
+	return e.td.Confirm(ff, vals, goodS2, seq.Fault)
+}
+
+// credit fault-simulates a fresh concrete instance of the sequence and
+// marks every additionally detected, still-pending fault, the paper's
+// post-generation fault simulation.
+func (e *Engine) credit(seq *TestSequence) {
+	ff := e.fastFrame(seq)
+	detected := e.td.Detect(ff, func(f faults.Delay) bool {
+		i, ok := e.index[f]
+		return !ok || e.status[i] != Pending
+	})
+	for _, f := range detected {
+		if i, ok := e.index[f]; ok && e.status[i] == Pending {
+			e.status[i] = TestedBySim
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/logic"
+)
+
+// TestTable3Integration runs the complete flow over every Table 3 circuit
+// and checks the invariants that make the results meaningful: full fault
+// classification, zero validation failures, and the qualitative shape of
+// the paper's evaluation. Skipped with -short (about 20s total).
+func TestTable3Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 3 run")
+	}
+	type row struct{ tested, untestable, aborted int }
+	got := make(map[string]row)
+	for _, p := range bench.Profiles {
+		c := p.Circuit()
+		sum := New(c, Options{}).Run()
+		if sum.ValidationFailures != 0 {
+			t.Errorf("%s: %d validation failures", p.Name, sum.ValidationFailures)
+		}
+		if n := sum.Tested + sum.Untestable + sum.Aborted; n != p.Paper.Faults() {
+			t.Errorf("%s: classified %d faults, want %d", p.Name, n, p.Paper.Faults())
+		}
+		got[p.Name] = row{sum.Tested, sum.Untestable, sum.Aborted}
+		t.Logf("%-7s tested=%4d untestable=%4d aborted=%4d (paper %d/%d/%d)",
+			p.Name, sum.Tested, sum.Untestable, sum.Aborted,
+			p.Paper.Tested, p.Paper.Untestable, p.Paper.Aborted)
+	}
+	// Shape checks, mirroring the paper's observations:
+	// the counter family is untestable-heavy under the robust model...
+	for _, name := range []string{"s208", "s420", "s838"} {
+		r := got[name]
+		if r.untestable <= r.tested {
+			t.Errorf("%s: expected untestable (%d) to dominate tested (%d)", name, r.untestable, r.tested)
+		}
+	}
+	// ...while the pipeline family is tested-heavy.
+	for _, name := range []string{"s641", "s1196", "s1238"} {
+		r := got[name]
+		if r.tested <= r.untestable {
+			t.Errorf("%s: expected tested (%d) to dominate untestable (%d)", name, r.tested, r.untestable)
+		}
+	}
+}
+
+// TestNonRobustShape verifies the paper's concluding prediction across
+// several circuits: the non-robust model never increases the untestable
+// count and reduces it overall. Skipped with -short.
+func TestNonRobustShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-circuit ablation")
+	}
+	totalRob, totalNon := 0, 0
+	for _, name := range []string{"s27", "s298", "s344", "s386", "s641"} {
+		c := bench.ProfileByName(name).Circuit()
+		rob := New(c, Options{}).Run()
+		non := New(c, Options{Algebra: logic.NonRobust}).Run()
+		if non.ValidationFailures != 0 {
+			t.Errorf("%s: non-robust validation failures: %d", name, non.ValidationFailures)
+		}
+		totalRob += rob.Untestable
+		totalNon += non.Untestable
+		t.Logf("%-6s untestable robust=%d non-robust=%d", name, rob.Untestable, non.Untestable)
+	}
+	if totalNon >= totalRob {
+		t.Errorf("non-robust untestable total %d did not drop below robust %d", totalNon, totalRob)
+	}
+}
+
+// TestStrictInitS27 pins the reachability analysis documented in
+// EXPERIMENTS.md: under strict all-X synchronization, s27's synchronizable
+// state space (G7 stuck at 1, G6 at 0) leaves no robustly testable fault.
+func TestStrictInitS27(t *testing.T) {
+	sum := New(bench.NewS27(), Options{StrictInit: true}).Run()
+	if sum.Tested != 0 {
+		t.Fatalf("strict-init s27 tested = %d; the G7=0 unreachability argument says 0", sum.Tested)
+	}
+}

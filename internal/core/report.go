@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// Row returns the summary as one Table 3 row.
+func (s *Summary) Row() string {
+	return fmt.Sprintf("%s: tested=%d untestable=%d aborted=%d patterns=%d time=%v",
+		s.Circuit, s.Tested, s.Untestable, s.Aborted, s.Patterns, s.Runtime)
+}
+
+// WriteReport prints a human-readable per-fault classification.
+func (s *Summary) WriteReport(w io.Writer, c *netlist.Circuit) error {
+	if _, err := fmt.Fprintf(w, "# %s (%s model)\n# %s\n", s.Circuit, s.Algebra, s.Row()); err != nil {
+		return err
+	}
+	for _, r := range s.Results {
+		line := fmt.Sprintf("%-28s %s", r.Fault.Name(c), r.Status)
+		if r.Seq != nil {
+			line += fmt.Sprintf("  [%d vectors, PO %d]", r.Seq.Len(), r.Seq.ObservePO)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the per-fault classification and the generated sequences
+// in a machine-readable form: one row per fault with the flattened vector
+// sequence (X for don't-cares, | between frames).
+func (s *Summary) WriteCSV(w io.Writer, c *netlist.Circuit) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"fault", "status", "vectors", "observe_po", "sequence"}); err != nil {
+		return err
+	}
+	for _, r := range s.Results {
+		rec := []string{r.Fault.Name(c), r.Status.String(), "", "", ""}
+		if r.Seq != nil {
+			rec[2] = strconv.Itoa(r.Seq.Len())
+			rec[3] = strconv.Itoa(r.Seq.ObservePO)
+			var frames []string
+			for _, vec := range r.Seq.Vectors() {
+				frames = append(frames, vecString(vec))
+			}
+			rec[4] = strings.Join(frames, "|")
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func vecString(v []sim.V3) string {
+	var sb strings.Builder
+	for _, b := range v {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+// Package fausim implements FAUSIM, the sequential fault simulator
+// integrated in SEMILET (paper Section 5, phases 1 and 2): good machine
+// simulation of a test sequence, and stuck-at-style observability analysis
+// of the propagation phase, where a fault effect captured at a PPO at the
+// end of the fast frame is treated as a state difference that must reach a
+// primary output under slow, fault-free clocking.
+package fausim
+
+import (
+	"math/rand"
+
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// Sim wraps a circuit view for sequence-level simulation.
+type Sim struct {
+	net *sim.Net
+}
+
+// New builds a simulator for the circuit.
+func New(net *sim.Net) *Sim { return &Sim{net: net} }
+
+// Net returns the underlying circuit view.
+func (s *Sim) Net() *sim.Net { return s.net }
+
+// FillSequence replaces every X in every vector with a pseudo-random bit,
+// the paper's phase-1 treatment of don't-cares left by test generation.
+func FillSequence(vectors [][]sim.V3, rng *rand.Rand) [][]sim.V3 {
+	out := make([][]sim.V3, len(vectors))
+	for i, vec := range vectors {
+		out[i] = sim.XFill(vec, rng)
+	}
+	return out
+}
+
+// GoodReplay simulates the good machine over the vectors from initState
+// (nil for power-up) and returns the state after every frame.
+func (s *Sim) GoodReplay(initState []sim.V3, vectors [][]sim.V3) []sim.Step {
+	return s.net.SeqSim3(initState, vectors)
+}
+
+// PairDiff simulates the good and faulty machines (differing only in their
+// starting states) over the vectors and returns the first frame and PO
+// index where they provably differ, or (-1, -1). The machine logic is
+// fault free in both runs: under the slow clock the delay fault cannot
+// occur, exactly the paper's propagation-phase model.
+func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int, int) {
+	g, f := goodState, faultyState
+	for frame, vec := range vectors {
+		gv := s.net.LoadFrame(vec, g)
+		s.net.Eval3(gv, nil)
+		fv := s.net.LoadFrame(vec, f)
+		s.net.Eval3(fv, nil)
+		for i, po := range s.net.C.POs {
+			a, b := gv[po], fv[po]
+			if a.Known() && b.Known() && a != b {
+				return frame, i
+			}
+		}
+		g = s.net.NextState3(gv, nil)
+		f = s.net.NextState3(fv, nil)
+	}
+	return -1, -1
+}
+
+// ObservablePPOs performs the paper's phase-2 analysis: for every flip-flop
+// index whose captured value could carry a fault effect (nonSteady), a
+// D is injected by flipping that state bit and the propagation vectors are
+// replayed; the result marks the PPOs whose effects reach a primary
+// output. The fault effect exists only at the observation point in the
+// fast frame — later frames are fault free — which is exactly how FAUSIM
+// treats it.
+func (s *Sim) ObservablePPOs(goodState []sim.V3, nonSteady []bool, vectors [][]sim.V3) []bool {
+	obs := make([]bool, len(goodState))
+	for i, ns := range nonSteady {
+		if !ns || !goodState[i].Known() {
+			continue
+		}
+		faulty := append([]sim.V3(nil), goodState...)
+		faulty[i] = sim.Not3(faulty[i])
+		if frame, po := s.PairDiff(goodState, faulty, vectors); frame >= 0 && po >= 0 {
+			obs[i] = true
+		}
+	}
+	return obs
+}
+
+// StuckCoverage fault-simulates a sequence against a set of stuck-at
+// faults by pair simulation from power-up, returning which are detected.
+// It is used by the standalone static-fault flow and the examples.
+func (s *Sim) StuckCoverage(vectors [][]sim.V3, lines []netlist.Line) map[netlist.Line][2]bool {
+	out := make(map[netlist.Line][2]bool, len(lines))
+	for _, l := range lines {
+		var det [2]bool
+		for v := 0; v < 2; v++ {
+			inj := &sim.Inject3{Line: l, Value: sim.V3(v)}
+			var g, f []sim.V3
+			detected := false
+			for _, vec := range vectors {
+				gv := s.net.LoadFrame(vec, g)
+				s.net.Eval3(gv, nil)
+				fv := s.net.LoadFrame(vec, f)
+				s.net.Eval3(fv, inj)
+				for _, po := range s.net.C.POs {
+					a, b := gv[po], fv[po]
+					if a.Known() && b.Known() && a != b {
+						detected = true
+					}
+				}
+				if detected {
+					break
+				}
+				g = s.net.NextState3(gv, nil)
+				f = s.net.NextState3(fv, inj)
+			}
+			det[v] = detected
+		}
+		out[l] = det
+	}
+	return out
+}

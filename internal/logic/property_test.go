@@ -1,0 +1,78 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fogbuster/internal/netlist"
+)
+
+// TestSetMonotonicityProperty: the set transfer functions are monotone —
+// growing an input set can only grow the image. TDgen's fixpoint
+// propagation terminates and stays an upper bound because of this.
+func TestSetMonotonicityProperty(t *testing.T) {
+	f := func(a, aExtra, b uint8) bool {
+		A, B := Set(a), Set(b)
+		A2 := A | Set(aExtra)
+		for _, alg := range []*Algebra{Robust, NonRobust} {
+			if alg.AndSet(A, B)&^alg.AndSet(A2, B) != 0 {
+				return false
+			}
+			if alg.OrSet(A, B)&^alg.OrSet(A2, B) != 0 {
+				return false
+			}
+			if alg.XorSet(A, B)&^alg.XorSet(A2, B) != 0 {
+				return false
+			}
+			if alg.NotSet(A)&^alg.NotSet(A2) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalSetSoundnessProperty: the image of singletons always lies inside
+// the image of any supersets (pointwise soundness of EvalSet), across gate
+// types and arities.
+func TestEvalSetSoundnessProperty(t *testing.T) {
+	types := []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor}
+	f := func(tSel uint8, raw [3]uint8, pick [3]uint8) bool {
+		typ := types[int(tSel)%len(types)]
+		sets := make([]Set, 3)
+		vals := make([]Value, 3)
+		for i := range sets {
+			sets[i] = Set(raw[i])
+			if sets[i] == EmptySet {
+				sets[i] = FullSet
+			}
+			members := sets[i].Values()
+			vals[i] = members[int(pick[i])%len(members)]
+		}
+		img := Robust.EvalSet(typ, sets)
+		return img.Has(Robust.Eval(typ, vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeMorganProperty: the OR table is the exact De Morgan dual of AND in
+// both algebras, for sets as well as values.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		A, B := Set(a), Set(b)
+		for _, alg := range []*Algebra{Robust, NonRobust} {
+			if alg.OrSet(A, B) != alg.NotSet(alg.AndSet(alg.NotSet(A), alg.NotSet(B))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

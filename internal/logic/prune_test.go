@@ -1,0 +1,169 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fogbuster/internal/netlist"
+)
+
+// bruteImage computes the exact output image of a gate over input sets.
+func bruteImage(a *Algebra, t netlist.GateType, ins []Set) Set {
+	var img Set
+	var rec func(i int, acc []Value)
+	rec = func(i int, acc []Value) {
+		if i == len(ins) {
+			img = img.Add(a.Eval(t, acc))
+			return
+		}
+		for _, v := range ins[i].Values() {
+			rec(i+1, append(acc, v))
+		}
+	}
+	rec(0, nil)
+	return img
+}
+
+func TestEvalSetMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	types := []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor}
+	for iter := 0; iter < 2000; iter++ {
+		typ := types[rng.Intn(len(types))]
+		n := 2 + rng.Intn(3)
+		ins := make([]Set, n)
+		for i := range ins {
+			ins[i] = Set(1 + rng.Intn(255))
+		}
+		want := bruteImage(Robust, typ, ins)
+		if got := Robust.EvalSet(typ, ins); got != want {
+			t.Fatalf("EvalSet(%v, %v) = %v, want %v", typ, ins, got, want)
+		}
+	}
+}
+
+// TestPruneSoundAndExact checks, on random gates, that Prune never removes
+// a supported input value (soundness) and never keeps an unsupported one
+// (exactness), where support means participation in some input combination
+// that produces an allowed output value.
+func TestPruneSoundAndExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	types := []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor}
+	for iter := 0; iter < 2000; iter++ {
+		typ := types[rng.Intn(len(types))]
+		n := 2 + rng.Intn(3)
+		orig := make([]Set, n)
+		for i := range orig {
+			orig[i] = Set(1 + rng.Intn(255))
+		}
+		out := Set(1 + rng.Intn(255))
+
+		// supported[i] = values of input i with support in orig/out.
+		supported := make([]Set, n)
+		var supportedOut Set
+		var rec func(i int, acc []Value)
+		rec = func(i int, acc []Value) {
+			if i == n {
+				v := Robust.Eval(typ, acc)
+				if out.Has(v) {
+					supportedOut = supportedOut.Add(v)
+					for j, x := range acc {
+						supported[j] = supported[j].Add(x)
+					}
+				}
+				return
+			}
+			for _, v := range orig[i].Values() {
+				rec(i+1, append(acc, v))
+			}
+		}
+		rec(0, nil)
+
+		ins := append([]Set(nil), orig...)
+		newOut, _, ok := Robust.Prune(typ, ins, out)
+		if !ok {
+			if supportedOut != EmptySet {
+				t.Fatalf("Prune(%v, %v, out=%v) reported conflict but support exists", typ, orig, out)
+			}
+			continue
+		}
+		for i := range ins {
+			if ins[i] != supported[i] {
+				t.Fatalf("Prune(%v, %v, out=%v): input %d pruned to %v, exact support %v",
+					typ, orig, out, i, ins[i], supported[i])
+			}
+		}
+		if newOut != supportedOut {
+			t.Fatalf("Prune(%v, %v, out=%v): output %v, exact support %v", typ, orig, out, newOut, supportedOut)
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := S(Zero, RiseC)
+	if !s.Has(Zero) || !s.Has(RiseC) || s.Has(One) {
+		t.Fatalf("membership broken: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if _, ok := s.Singleton(); ok {
+		t.Fatal("two-element set reported singleton")
+	}
+	v, ok := s.Del(Zero).Singleton()
+	if !ok || v != RiseC {
+		t.Fatalf("Singleton after Del = %v,%v", v, ok)
+	}
+	if got := s.String(); got != "{0,Rc}" {
+		t.Fatalf("String = %q", got)
+	}
+	if FullSet.Count() != 8 || EmptySet.Count() != 0 {
+		t.Fatal("FullSet/EmptySet wrong")
+	}
+	if PIDomain != S(Zero, One, Rise, Fall) {
+		t.Fatal("PIDomain wrong")
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Set(raw)
+		var rebuilt Set
+		for _, v := range s.Values() {
+			rebuilt = rebuilt.Add(v)
+		}
+		return rebuilt == s && s.Count() == len(s.Values())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueProperties(t *testing.T) {
+	for v := Value(0); v < NumValues; v++ {
+		if v.HasTransition() != (v.Initial() != v.Final()) {
+			t.Errorf("%v: HasTransition inconsistent", v)
+		}
+		if v.Carrying() {
+			if got := v.Plain().WithCarry(); got != v {
+				t.Errorf("%v: Plain/WithCarry round trip = %v", v, got)
+			}
+		}
+		nv := Robust.Not(v)
+		if nv.Initial() == v.Initial() || nv.Final() == v.Final() {
+			t.Errorf("Not(%v) = %v does not invert endpoints", v, nv)
+		}
+		if Robust.Not(nv) != v {
+			t.Errorf("Not is not an involution at %v", v)
+		}
+	}
+	if FromEndpoints(0, 1, true) != Rise || FromEndpoints(1, 0, false) != Fall {
+		t.Error("FromEndpoints transitions wrong")
+	}
+	if FromEndpoints(0, 0, false) != Zero || FromEndpoints(0, 0, true) != ZeroH {
+		t.Error("FromEndpoints zero wrong")
+	}
+	if FromEndpoints(1, 1, false) != One || FromEndpoints(1, 1, true) != OneH {
+		t.Error("FromEndpoints one wrong")
+	}
+}

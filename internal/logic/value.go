@@ -1,0 +1,120 @@
+// Package logic implements the eight-valued algebra that TDgen uses for
+// robust gate delay fault test generation (van Brakel et al., ED&TC 1995,
+// Section 3, Tables 1 and 2).
+//
+// A value describes one signal across the two time frames of the local test
+// (the initial frame and the fast test frame):
+//
+//	0   steady zero in both frames, hazard-free
+//	1   steady one in both frames, hazard-free
+//	R   rising: zero in the first frame, one in the second
+//	F   falling: one in the first frame, zero in the second
+//	0h  zero in both frames, but a hazard (temporary change) may occur
+//	1h  one in both frames, but a hazard may occur
+//	Rc  rising and carrying the fault effect (like D in stuck-at ATPG)
+//	Fc  falling and carrying the fault effect (like Dbar)
+//
+// The tables are not hard-coded: they are derived from an explicit waveform
+// semantics (initial value, final value, steadiness, fault-effect flag) in
+// tables.go, and pinned against the rows printed in the paper by the tests.
+package logic
+
+import "fmt"
+
+// Value is one of the eight algebra values.
+type Value uint8
+
+// The eight values. The order is the paper's presentation order and is
+// relied upon by Set's bit packing.
+const (
+	Zero  Value = iota // steady 0, hazard-free
+	One                // steady 1, hazard-free
+	Rise               // R: 0 in frame 1, 1 in frame 2
+	Fall               // F: 1 in frame 1, 0 in frame 2
+	ZeroH              // 0h: 0 in both frames, hazard possible
+	OneH               // 1h: 1 in both frames, hazard possible
+	RiseC              // Rc: rising, carries the fault effect
+	FallC              // Fc: falling, carries the fault effect
+
+	// NumValues is the size of the algebra.
+	NumValues = 8
+)
+
+var valueNames = [NumValues]string{"0", "1", "R", "F", "0h", "1h", "Rc", "Fc"}
+
+// String returns the paper's notation for the value.
+func (v Value) String() string {
+	if v < NumValues {
+		return valueNames[v]
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+var (
+	initials = [NumValues]uint8{Zero: 0, One: 1, Rise: 0, Fall: 1, ZeroH: 0, OneH: 1, RiseC: 0, FallC: 1}
+	finals   = [NumValues]uint8{Zero: 0, One: 1, Rise: 1, Fall: 0, ZeroH: 0, OneH: 1, RiseC: 1, FallC: 0}
+)
+
+// Initial returns the signal's settled value in the first (initial) frame.
+func (v Value) Initial() uint8 { return initials[v] }
+
+// Final returns the signal's settled value in the second (test) frame.
+// For a carrying value this is the good-machine final value; the faulty
+// machine still shows the initial value at the fast sampling edge.
+func (v Value) Final() uint8 { return finals[v] }
+
+// Steady reports whether the signal is guaranteed constant and hazard-free
+// across both frames (only the plain 0 and 1 qualify).
+func (v Value) Steady() bool { return v == Zero || v == One }
+
+// Carrying reports whether the value carries the fault effect (Rc or Fc).
+func (v Value) Carrying() bool { return v == RiseC || v == FallC }
+
+// HasTransition reports whether initial and final values differ.
+func (v Value) HasTransition() bool { return initials[v] != finals[v] }
+
+// Plain strips the fault-effect flag: Rc becomes R and Fc becomes F.
+func (v Value) Plain() Value {
+	switch v {
+	case RiseC:
+		return Rise
+	case FallC:
+		return Fall
+	}
+	return v
+}
+
+// WithCarry adds the fault-effect flag to a transition value. It panics on
+// non-transition values, which always indicates a programming error: only
+// the fault site converts R/F into Rc/Fc.
+func (v Value) WithCarry() Value {
+	switch v {
+	case Rise, RiseC:
+		return RiseC
+	case Fall, FallC:
+		return FallC
+	}
+	panic("logic: WithCarry on non-transition value " + v.String())
+}
+
+// FromEndpoints returns the plain (non-carrying) value with the given
+// settled frame values. When the endpoints agree, hazard selects between
+// the hazard-free and hazardous variants.
+func FromEndpoints(initial, final uint8, hazard bool) Value {
+	switch {
+	case initial == 0 && final == 1:
+		return Rise
+	case initial == 1 && final == 0:
+		return Fall
+	case initial == 0:
+		if hazard {
+			return ZeroH
+		}
+		return Zero
+	default:
+		if hazard {
+			return OneH
+		}
+		return One
+	}
+}

@@ -1,0 +1,110 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs circuits programmatically. Signals may be referenced
+// before they are defined; names are resolved in Build. The zero Builder is
+// not usable; call NewBuilder.
+type Builder struct {
+	name    string
+	inputs  []string
+	outputs []string
+	gates   []builderGate
+	defined map[string]bool
+	err     error
+}
+
+type builderGate struct {
+	name  string
+	typ   GateType
+	fanin []string
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, defined: make(map[string]bool)}
+}
+
+// Input declares a primary input signal.
+func (b *Builder) Input(name string) {
+	b.define(name)
+	b.inputs = append(b.inputs, name)
+}
+
+// Output marks an existing or future signal as a primary output.
+func (b *Builder) Output(name string) {
+	b.outputs = append(b.outputs, name)
+}
+
+// Gate defines a gate (or DFF) named name computing typ over fanin signals.
+func (b *Builder) Gate(name string, typ GateType, fanin ...string) {
+	if typ == Input {
+		b.Input(name)
+		return
+	}
+	b.define(name)
+	b.gates = append(b.gates, builderGate{name: name, typ: typ, fanin: fanin})
+}
+
+// DFF defines a flip-flop whose output is name and whose D input is d.
+func (b *Builder) DFF(name, d string) { b.Gate(name, DFF, d) }
+
+func (b *Builder) define(name string) {
+	if b.defined[name] {
+		if b.err == nil {
+			b.err = fmt.Errorf("netlist: %s: signal %q defined twice", b.name, name)
+		}
+		return
+	}
+	b.defined[name] = true
+}
+
+// Build resolves all names and returns the finished circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	c := &Circuit{
+		Name:   b.name,
+		byName: make(map[string]NodeID, len(b.inputs)+len(b.gates)),
+	}
+	add := func(name string, typ GateType) NodeID {
+		id := NodeID(len(c.Nodes))
+		c.Nodes = append(c.Nodes, Node{ID: id, Name: name, Type: typ})
+		c.byName[name] = id
+		return id
+	}
+	for _, in := range b.inputs {
+		c.PIs = append(c.PIs, add(in, Input))
+	}
+	for _, g := range b.gates {
+		id := add(g.name, g.typ)
+		if g.typ == DFF {
+			c.DFFs = append(c.DFFs, id)
+		}
+	}
+	for _, g := range b.gates {
+		id := c.byName[g.name]
+		for _, f := range g.fanin {
+			fid, ok := c.byName[f]
+			if !ok {
+				return nil, fmt.Errorf("netlist: %s: %q uses undefined signal %q", b.name, g.name, f)
+			}
+			c.Nodes[id].Fanin = append(c.Nodes[id].Fanin, fid)
+		}
+	}
+	for _, out := range b.outputs {
+		id, ok := c.byName[out]
+		if !ok {
+			return nil, fmt.Errorf("netlist: %s: OUTPUT(%s) references undefined signal", b.name, out)
+		}
+		if !c.Nodes[id].IsPO {
+			c.Nodes[id].IsPO = true
+			c.POs = append(c.POs, id)
+		}
+	}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

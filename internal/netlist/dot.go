@@ -1,0 +1,41 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the circuit in Graphviz dot format: inputs as triangles,
+// flip-flops as boxes, gates as ellipses labelled with their function,
+// primary outputs double-circled.
+func (c *Circuit) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", c.Name)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		shape, label := "ellipse", fmt.Sprintf("%s\\n%s", n.Name, n.Type)
+		switch n.Type {
+		case Input:
+			shape, label = "triangle", n.Name
+		case DFF:
+			shape = "box"
+		}
+		peripheries := 1
+		if n.IsPO {
+			peripheries = 2
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=%s peripheries=%d label=\"%s\"];\n", n.ID, shape, peripheries, label)
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		for _, in := range n.Fanin {
+			style := ""
+			if n.Type == DFF {
+				style = " [style=dashed]" // the sequential boundary
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", in, n.ID, style)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package netlist
+
+import "fmt"
+
+// StemBranch marks a Line as the stem (the node output itself) rather than
+// one of its fanout branches.
+const StemBranch = -1
+
+// Line identifies a physical circuit line: either the stem of a node's
+// output signal, or one specific fanout branch of it. Under the paper's
+// gate delay fault model every stem and every fanout branch of a stem with
+// two or more fanouts is a distinct fault site.
+type Line struct {
+	Node   NodeID
+	Branch int // StemBranch, or an index into Node.Fanout
+}
+
+// Stem returns the stem line of node id.
+func Stem(id NodeID) Line { return Line{Node: id, Branch: StemBranch} }
+
+// IsStem reports whether the line is a stem.
+func (l Line) IsStem() bool { return l.Branch == StemBranch }
+
+// String formats the line using circuit-independent IDs. Use
+// Circuit.LineName for the named form.
+func (l Line) String() string {
+	if l.IsStem() {
+		return fmt.Sprintf("n%d", l.Node)
+	}
+	return fmt.Sprintf("n%d.b%d", l.Node, l.Branch)
+}
+
+// LineName renders a line with signal names: "G8" for a stem, "G8->G15"
+// for the branch of G8 that feeds G15.
+func (c *Circuit) LineName(l Line) string {
+	n := c.Node(l.Node)
+	if l.IsStem() {
+		return n.Name
+	}
+	if l.Branch < 0 || l.Branch >= len(n.Fanout) {
+		return fmt.Sprintf("%s->?%d", n.Name, l.Branch)
+	}
+	return fmt.Sprintf("%s->%s", n.Name, c.Node(n.Fanout[l.Branch]).Name)
+}
+
+// GateFanout returns the node's consumers excluding flip-flops. Like
+// primary outputs, flip-flop D inputs are observation ports rather than
+// fanout branches: the paper's s27 fault total (50 = 2 x 25 lines) only
+// works out if the G11->DFF connection is not a branch fault site.
+func (c *Circuit) GateFanout(id NodeID) int {
+	n := 0
+	for _, f := range c.Nodes[id].Fanout {
+		if c.Nodes[f].Type != DFF {
+			n++
+		}
+	}
+	return n
+}
+
+// Lines enumerates every fault site of the circuit: one stem per node,
+// plus one branch per gate-feeding fanout connection for nodes driving two
+// or more gate inputs. This reproduces the paper's fault universe; for s27
+// it yields 25 lines (17 stems + 8 branches), i.e. 50 delay faults.
+func (c *Circuit) Lines() []Line {
+	var lines []Line
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		lines = append(lines, Stem(n.ID))
+		if c.GateFanout(n.ID) >= 2 {
+			for b, f := range n.Fanout {
+				if c.Nodes[f].Type != DFF {
+					lines = append(lines, Line{Node: n.ID, Branch: b})
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// NumLines returns len(c.Lines()) without allocating.
+func (c *Circuit) NumLines() int {
+	total := 0
+	for i := range c.Nodes {
+		total++
+		if f := c.GateFanout(NodeID(i)); f >= 2 {
+			total += f
+		}
+	}
+	return total
+}

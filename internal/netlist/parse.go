@@ -1,0 +1,121 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a circuit in ISCAS'89 .bench format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G8 = AND(G14, G6)
+//
+// Gate names are case-insensitive; BUF and BUFF are synonyms. Signals may
+// be referenced before definition (two-pass resolution), as is usual for
+// DFF feedback in the ISCAS'89 benchmarks.
+func Parse(name, src string) (*Circuit, error) {
+	b := NewBuilder(name)
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parseUnary(line, "INPUT")
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %v", name, lineNo, err)
+			}
+			b.Input(arg)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parseUnary(line, "OUTPUT")
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %v", name, lineNo, err)
+			}
+			b.Output(arg)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("netlist: %s:%d: cannot parse %q", name, lineNo, raw)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.IndexByte(rhs, '(')
+			close := strings.LastIndexByte(rhs, ')')
+			if lhs == "" || open <= 0 || close < open {
+				return nil, fmt.Errorf("netlist: %s:%d: cannot parse %q", name, lineNo, raw)
+			}
+			gt, ok := gateTypeByName(strings.TrimSpace(rhs[:open]))
+			if !ok {
+				return nil, fmt.Errorf("netlist: %s:%d: unknown gate type %q", name, lineNo, rhs[:open])
+			}
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("netlist: %s:%d: empty fanin in %q", name, lineNo, raw)
+				}
+				fanin = append(fanin, f)
+			}
+			b.Gate(lhs, gt, fanin...)
+		}
+	}
+	return b.Build()
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	if !strings.EqualFold(s[:len(prefix)], prefix) {
+		return false
+	}
+	rest := strings.TrimSpace(s[len(prefix):])
+	return strings.HasPrefix(rest, "(")
+}
+
+func parseUnary(line, kw string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed %s declaration %q", kw, line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty %s declaration %q", kw, line)
+	}
+	return arg, nil
+}
+
+func gateTypeByName(s string) (GateType, bool) {
+	switch strings.ToUpper(s) {
+	case "DFF":
+		return DFF, true
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	}
+	return 0, false
+}

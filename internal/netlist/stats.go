@@ -1,0 +1,55 @@
+package netlist
+
+import "fmt"
+
+// Stats summarizes the size of a circuit, including the fault-universe
+// quantities used by the paper's Table 3 (lines = stems + fanout branches;
+// delay faults = 2 * lines).
+type Stats struct {
+	Name     string
+	PIs      int
+	POs      int
+	DFFs     int
+	Gates    int // combinational gates (incl. NOT/BUF)
+	Stems    int
+	Branches int
+	Lines    int // Stems + Branches
+	MaxLevel int
+}
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Type.IsGate() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats computes size statistics for the circuit.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Name:     c.Name,
+		PIs:      len(c.PIs),
+		POs:      len(c.POs),
+		DFFs:     len(c.DFFs),
+		Gates:    c.NumGates(),
+		Stems:    len(c.Nodes),
+		MaxLevel: int(c.MaxLevel()),
+	}
+	for i := range c.Nodes {
+		if f := c.GateFanout(NodeID(i)); f >= 2 {
+			s.Branches += f
+		}
+	}
+	s.Lines = s.Stems + s.Branches
+	return s
+}
+
+// String formats the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: pi=%d po=%d dff=%d gates=%d stems=%d branches=%d lines=%d depth=%d faults=%d",
+		s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, s.MaxLevel, 2*s.Lines)
+}

@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bench renders the circuit back to ISCAS'89 .bench format. Parsing the
+// result yields a structurally identical circuit.
+func (c *Circuit) Bench() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", c.Name)
+	fmt.Fprintf(&sb, "# %d inputs, %d outputs, %d flip-flops, %d gates\n",
+		len(c.PIs), len(c.POs), len(c.DFFs), c.NumGates())
+	for _, pi := range c.PIs {
+		fmt.Fprintf(&sb, "INPUT(%s)\n", c.Nodes[pi].Name)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(&sb, "OUTPUT(%s)\n", c.Nodes[po].Name)
+	}
+	for _, ff := range c.DFFs {
+		n := &c.Nodes[ff]
+		fmt.Fprintf(&sb, "%s = DFF(%s)\n", n.Name, c.Nodes[n.Fanin[0]].Name)
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Type.IsGate() {
+			continue
+		}
+		names := make([]string, len(n.Fanin))
+		for j, f := range n.Fanin {
+			names[j] = c.Nodes[f].Name
+		}
+		fmt.Fprintf(&sb, "%s = %s(%s)\n", n.Name, n.Type, strings.Join(names, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,359 @@
+package semilet
+
+import (
+	"math/rand"
+
+	"fogbuster/internal/faults"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// StuckResult is a complete sequential stuck-at test: an initializing
+// prefix, the activation vector and the propagation suffix, validated by
+// independent good/faulty pair simulation.
+type StuckResult struct {
+	Vectors [][]sim.V3
+	PO      int // observing PO index
+	Frame   int // frame (0-based within Vectors) where the PO observes
+}
+
+// GenerateStuck runs the full FOGBUSTER flow for a single stuck-at fault:
+// activation with decisions on PIs and PPIs, forward propagation with the
+// fault active in every frame, reverse-time synchronization of the
+// required activation state, and a final validation by pair simulation.
+// This is SEMILET's original task as a static-fault sequential ATPG.
+func (e *Engine) GenerateStuck(f faults.Stuck, budget *Budget) (*StuckResult, Status) {
+	inj := &sim.InjectStuck{Line: f.Line, Stuck: sim.V3(b2u(f.One))}
+	a := &actSearch{e: e, budget: budget, inj: inj}
+	a.reset()
+	// Activation alternatives often demand the same unreachable state;
+	// remember targets synchronization has already refuted.
+	failedSync := make(map[string]bool)
+	for {
+		po, state, ok := a.next()
+		if !ok {
+			if budget.Exceeded() {
+				return nil, Aborted
+			}
+			return nil, Exhausted
+		}
+		vectors := [][]sim.V3{a.piVector()}
+		okProp := true
+		if po < 0 {
+			// The effect only reached the state register: propagate it
+			// with the fault still active under the slow clock.
+			p := &propSearch{e: e, budget: budget, inject: inj}
+			p.frames = append(p.frames, propFrame{state: state, assign: newAssign(len(e.net.C.PIs))})
+			res, st := p.run()
+			if st == Aborted {
+				return nil, Aborted
+			}
+			if st != Success {
+				okProp = false
+			} else {
+				po = res.PO
+				vectors = append(vectors, res.Vectors...)
+			}
+		}
+		if okProp && !failedSync[targetKey(a.ppiVector())] {
+			sync, st := e.Synchronize(a.ppiVector(), budget)
+			if st == Aborted {
+				return nil, Aborted
+			}
+			if st == Exhausted {
+				failedSync[targetKey(a.ppiVector())] = true
+			}
+			if st == Success {
+				full := append(append([][]sim.V3{}, sync.Vectors...), vectors...)
+				// Try a few random completions of the don't-cares; the
+				// paper fills X values at random before fault simulation.
+				rng := rand.New(rand.NewSource(int64(inj.Line.Node)*17 + int64(inj.Stuck)))
+				for fill := 0; fill < 4; fill++ {
+					filled := make([][]sim.V3, len(full))
+					for i, vec := range full {
+						filled[i] = sim.XFill(vec, rng)
+					}
+					if frame, obs := e.validateStuck(inj, filled); obs >= 0 {
+						return &StuckResult{Vectors: filled, PO: obs, Frame: frame}, Success
+					}
+				}
+			}
+		}
+		// This activation failed downstream: enumerate the next one.
+		if !a.backtrack() {
+			if budget.Exceeded() {
+				return nil, Aborted
+			}
+			return nil, Exhausted
+		}
+	}
+}
+
+// validateStuck pair-simulates the sequence and returns the first frame
+// and PO index where the good and faulty machines provably differ, or
+// (-1, -1).
+func (e *Engine) validateStuck(inj *sim.InjectStuck, vectors [][]sim.V3) (int, int) {
+	inj3 := &sim.Inject3{Line: inj.Line, Value: inj.Stuck}
+	var goodState, badState []sim.V3
+	for frame, vec := range vectors {
+		gv := e.net.LoadFrame(vec, goodState)
+		e.net.Eval3(gv, nil)
+		bv := e.net.LoadFrame(vec, badState)
+		e.net.Eval3(bv, inj3)
+		for i, po := range e.net.C.POs {
+			g, b := gv[po], bv[po]
+			if g.Known() && b.Known() && g != b {
+				return frame, i
+			}
+		}
+		goodState = e.net.NextState3(gv, nil)
+		badState = e.net.NextState3(bv, inj3)
+	}
+	return -1, -1
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// actSearch is the activation-frame DFS: a 5-valued PODEM with the fault
+// injected, deciding both PIs and PPIs; assigned PPIs become the required
+// state that synchronization must establish.
+type actSearch struct {
+	e      *Engine
+	budget *Budget
+	inj    *sim.InjectStuck
+
+	assignPI  []sim.V5
+	assignPPI []sim.V5
+	decisions []actDecision
+}
+
+type actDecision struct {
+	isPPI bool
+	idx   int
+	order [2]sim.V5
+	next  int
+}
+
+func (a *actSearch) reset() {
+	a.assignPI = newAssign(len(a.e.net.C.PIs))
+	a.assignPPI = newAssign(len(a.e.net.C.DFFs))
+	a.decisions = nil
+}
+
+func (a *actSearch) piVector() []sim.V3 {
+	out := make([]sim.V3, len(a.assignPI))
+	for i, v := range a.assignPI {
+		out[i] = v.Good()
+	}
+	return out
+}
+
+func (a *actSearch) ppiVector() []sim.V3 {
+	out := make([]sim.V3, len(a.assignPPI))
+	for i, v := range a.assignPPI {
+		out[i] = v.Good()
+	}
+	return out
+}
+
+// next finds the next activation assignment whose effect reaches a PO
+// (returned as po >= 0) or the state register (po == -1 with the captured
+// next state). ok is false when the space or budget is exhausted.
+func (a *actSearch) next() (po int, state []sim.V5, ok bool) {
+	c := a.e.net.C
+	site := a.inj.Line.Node
+	for {
+		vals := a.e.net.LoadFrame5(a.assignPI, a.assignPPI)
+		a.e.net.Eval5(vals, a.inj)
+		conflict := false
+		siteVal := a.siteValue(vals)
+		if !siteVal.IsD() {
+			if siteVal != sim.X5 {
+				conflict = true // the site is pinned to the stuck value
+			} else if !a.objective(vals, site, wantGood(a.inj)) {
+				conflict = true
+			}
+		} else {
+			for i, poID := range c.POs {
+				if vals[poID].IsD() {
+					return i, nil, true
+				}
+			}
+			next := a.e.net.NextState5(vals, a.inj)
+			if !a.pushFrontier(vals) {
+				if hasD5(next) {
+					return -1, next, true
+				}
+				conflict = true
+			}
+		}
+		if conflict {
+			if !a.backtrack() {
+				return 0, nil, false
+			}
+		}
+	}
+}
+
+// siteValue reads the value at the fault site after injection. For a
+// branch fault the stem itself stays clean, so the effect is read at the
+// injected connection via its consumer; the composite of (good stem
+// value, stuck) stands in.
+func (a *actSearch) siteValue(vals []sim.V5) sim.V5 {
+	v := vals[a.inj.Line.Node]
+	if !a.inj.Line.IsStem() {
+		return sim.FromPair(v.Good(), a.inj.Stuck)
+	}
+	return v
+}
+
+func wantGood(inj *sim.InjectStuck) sim.V5 {
+	if inj.Stuck == sim.Lo {
+		return sim.O5
+	}
+	return sim.Z5
+}
+
+// objective backtraces (node, want) through X logic and pushes a decision;
+// false when no assignable input supports it. Unlike a single-path walk it
+// explores alternative fanins depth-first, so a blocked path does not hide
+// a viable one.
+func (a *actSearch) objective(vals []sim.V5, id netlist.NodeID, want sim.V5) bool {
+	c := a.e.net.C
+	visited := make(map[netlist.NodeID]bool)
+	var try func(id netlist.NodeID, want sim.V5) bool
+	try = func(id netlist.NodeID, want sim.V5) bool {
+		if visited[id] {
+			return false
+		}
+		visited[id] = true
+		node := &c.Nodes[id]
+		switch node.Type {
+		case netlist.Input:
+			for i, pi := range c.PIs {
+				if pi == id && a.assignPI[i] == sim.X5 {
+					a.push(actDecision{idx: i, order: [2]sim.V5{want, invert5(want)}})
+					return true
+				}
+			}
+			return false
+		case netlist.DFF:
+			for i, ff := range c.DFFs {
+				if ff == id && a.assignPPI[i] == sim.X5 {
+					a.push(actDecision{isPPI: true, idx: i, order: [2]sim.V5{want, invert5(want)}})
+					return true
+				}
+			}
+			return false
+		}
+		if invertsObjective(node.Type) {
+			want = invert5(want)
+		}
+		// X fanins ordered by controllability cost for the wanted value.
+		type cand struct {
+			in   netlist.NodeID
+			cost int32
+		}
+		var cands []cand
+		for _, in := range node.Fanin {
+			if vals[in] != sim.X5 {
+				continue
+			}
+			cost := a.e.meas.CC1[in]
+			if want == sim.Z5 {
+				cost = a.e.meas.CC0[in]
+			}
+			cands = append(cands, cand{in, cost})
+		}
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].cost < cands[j-1].cost; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		for _, cd := range cands {
+			if try(cd.in, want) {
+				return true
+			}
+		}
+		return false
+	}
+	return try(id, want)
+}
+
+// pushFrontier serves the D-frontier toward any observation point, trying
+// frontier gates in increasing observability cost.
+func (a *actSearch) pushFrontier(vals []sim.V5) bool {
+	c := a.e.net.C
+	type cand struct {
+		id   netlist.NodeID
+		cost int32
+	}
+	var frontier []cand
+	for _, id := range c.GateOrder() {
+		if vals[id] != sim.X5 {
+			continue
+		}
+		for _, in := range c.Nodes[id].Fanin {
+			if vals[in].IsD() {
+				frontier = append(frontier, cand{id, a.e.meas.CO[id]})
+				break
+			}
+		}
+	}
+	for i := 1; i < len(frontier); i++ {
+		for j := i; j > 0 && frontier[j].cost < frontier[j-1].cost; j-- {
+			frontier[j], frontier[j-1] = frontier[j-1], frontier[j]
+		}
+	}
+	for _, fg := range frontier {
+		node := &c.Nodes[fg.id]
+		want := nonControlling5(node.Type)
+		for _, in := range node.Fanin {
+			if vals[in] == sim.X5 {
+				if a.objective(vals, in, want) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (a *actSearch) push(d actDecision) {
+	a.decisions = append(a.decisions, d)
+	if d.isPPI {
+		a.assignPPI[d.idx] = d.order[0]
+	} else {
+		a.assignPI[d.idx] = d.order[0]
+	}
+}
+
+func (a *actSearch) backtrack() bool {
+	for len(a.decisions) > 0 {
+		d := &a.decisions[len(a.decisions)-1]
+		d.next++
+		if d.next < len(d.order) {
+			if !a.budget.Spend() {
+				return false
+			}
+			if d.isPPI {
+				a.assignPPI[d.idx] = d.order[d.next]
+			} else {
+				a.assignPI[d.idx] = d.order[d.next]
+			}
+			return true
+		}
+		if d.isPPI {
+			a.assignPPI[d.idx] = sim.X5
+		} else {
+			a.assignPI[d.idx] = sim.X5
+		}
+		a.decisions = a.decisions[:len(a.decisions)-1]
+	}
+	return false
+}

@@ -1,0 +1,324 @@
+package semilet
+
+import (
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/testability"
+)
+
+// SyncResult is a successful synchronization: PI vectors (X entries are
+// don't-cares) that drive the machine into a state satisfying every
+// required bit. When the optimistic initialization policy is in effect,
+// Assumed holds state bits the justification could not force from the
+// unknown power-up state and therefore assumes the machine powers up
+// with; a strict synchronizing sequence has a nil Assumed.
+type SyncResult struct {
+	Vectors [][]sim.V3
+	Assumed []sim.V3
+}
+
+// Synchronize computes an initializing sequence to the partial state
+// target (X entries are don't-cares) using reverse time processing: the
+// requirement is justified frame by frame backwards until no state
+// requirement remains, so the sequence works from any power-up state. The
+// machine is fault free during initialization (slow clock).
+func (e *Engine) Synchronize(target []sim.V3, budget *Budget) (*SyncResult, Status) {
+	return e.SynchronizeWith(target, budget, false)
+}
+
+// SynchronizeWith adds the initialization policy choice. With assume set,
+// requirements that are provably unjustifiable from the all-X power-up
+// state terminate the reverse recursion as assumed power-up values instead
+// of failing, the optimistic convention of 1990s sequential ATPG. Several
+// ISCAS'89 machines have state bits that no input sequence can force (in
+// s27, G7=0 is reachable only from G7=0), so the strict policy leaves
+// their fault classes untestable; see EXPERIMENTS.md.
+func (e *Engine) SynchronizeWith(target []sim.V3, budget *Budget, assume bool) (*SyncResult, Status) {
+	if sim.KnownCount(target) == 0 {
+		return &SyncResult{}, Success
+	}
+	s := &syncSearch{e: e, budget: budget, assume: assume}
+	st := s.justify(target, e.opts.maxFrames())
+	if st != Success {
+		if st == Exhausted && assume {
+			// Nothing was justifiable; assume the whole target.
+			return &SyncResult{Assumed: append([]sim.V3(nil), target...)}, Success
+		}
+		return nil, st
+	}
+	// Frames were collected deepest-first; the deepest frame is applied
+	// first in real time.
+	res := &SyncResult{Vectors: make([][]sim.V3, len(s.vectors)), Assumed: s.assumed}
+	for i := range s.vectors {
+		res.Vectors[i] = s.vectors[len(s.vectors)-1-i]
+	}
+	return res, Success
+}
+
+type syncSearch struct {
+	e       *Engine
+	budget  *Budget
+	vectors [][]sim.V3 // collected in reverse time order (latest first)
+
+	// failed memoizes requirements proven unjustifiable, keyed by the
+	// target vector, with the depth that was available when they failed.
+	// State requirements recur naturally in reverse time processing
+	// (a bit that needs itself one frame earlier), and without the memo
+	// such regressions burn the whole backtrack budget.
+	failed map[string]int
+	// active holds the requirements currently on the recursion stack: a
+	// requirement that needs itself in an earlier frame is an infinite
+	// regress from the all-X power-up state and is pruned immediately.
+	active map[string]bool
+	// assume enables the optimistic initialization policy; assumed holds
+	// the power-up state it committed to, if any.
+	assume  bool
+	assumed []sim.V3
+}
+
+// syncFrameState is the per-frame justification state: assignable PIs and
+// PPIs; assigned PPIs become the previous frame's requirement.
+type syncFrameState struct {
+	piAssign  []sim.V3
+	ppiAssign []sim.V3
+	decisions []syncDecision
+}
+
+type syncDecision struct {
+	isPPI bool
+	idx   int
+	order [2]sim.V3
+	next  int
+}
+
+// justify solves one reverse-time frame for the target and recurses on the
+// requirement it creates. depth bounds the remaining frames.
+func (s *syncSearch) justify(target []sim.V3, depth int) Status {
+	if sim.KnownCount(target) == 0 {
+		return Success
+	}
+	if depth <= 0 {
+		return Exhausted
+	}
+	key := targetKey(target)
+	if s.failed == nil {
+		s.failed = make(map[string]int)
+		s.active = make(map[string]bool)
+	}
+	if failedDepth, ok := s.failed[key]; ok && failedDepth >= depth {
+		return Exhausted
+	}
+	if s.active[key] {
+		return Exhausted
+	}
+	s.active[key] = true
+	defer delete(s.active, key)
+	c := s.e.net.C
+	f := &syncFrameState{
+		piAssign:  make([]sim.V3, len(c.PIs)),
+		ppiAssign: make([]sim.V3, len(c.DFFs)),
+	}
+	for i := range f.piAssign {
+		f.piAssign[i] = sim.X
+	}
+	for i := range f.ppiAssign {
+		f.ppiAssign[i] = sim.X
+	}
+	for {
+		vals := s.e.net.LoadFrame(f.piAssign, f.ppiAssign)
+		s.e.net.Eval3(vals, nil)
+		next := s.e.net.NextState3(vals, nil)
+		switch s.checkTargets(target, next) {
+		case targetsMet:
+			s.vectors = append(s.vectors, append([]sim.V3(nil), f.piAssign...))
+			req := s.requirement(f)
+			sub := s.justify(req, depth-1)
+			if sub == Exhausted && s.assume {
+				// The requirement cannot be forced from the unknown
+				// state; commit to it as the assumed power-up state.
+				s.assumed = req
+				sub = Success
+			}
+			if sub == Success {
+				return Success
+			}
+			if sub == Aborted {
+				return Aborted
+			}
+			// The deeper requirement is unsatisfiable: drop the recorded
+			// vector and look for a different justification here.
+			s.vectors = s.vectors[:len(s.vectors)-1]
+			if !s.backtrackFrame(f) {
+				return s.fail(key, depth)
+			}
+		case targetsOpen:
+			if !s.assignForTargets(f, target, vals, next) {
+				if !s.backtrackFrame(f) {
+					return s.fail(key, depth)
+				}
+			}
+		case targetsDead:
+			if !s.backtrackFrame(f) {
+				return s.fail(key, depth)
+			}
+		}
+	}
+}
+
+// fail records a proven-unjustifiable requirement and classifies the exit.
+func (s *syncSearch) fail(key string, depth int) Status {
+	if s.budget.Exceeded() {
+		return Aborted
+	}
+	if old, ok := s.failed[key]; !ok || depth > old {
+		s.failed[key] = depth
+	}
+	return Exhausted
+}
+
+// targetKey canonicalizes a requirement vector for memoization.
+func targetKey(target []sim.V3) string {
+	b := make([]byte, len(target))
+	for i, v := range target {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+type targetCheck uint8
+
+const (
+	targetsMet targetCheck = iota
+	targetsOpen
+	targetsDead
+)
+
+func (s *syncSearch) checkTargets(target, next []sim.V3) targetCheck {
+	open := false
+	for i, want := range target {
+		if want == sim.X {
+			continue
+		}
+		switch next[i] {
+		case want:
+		case sim.X:
+			open = true
+		default:
+			return targetsDead
+		}
+	}
+	if open {
+		return targetsOpen
+	}
+	return targetsMet
+}
+
+// requirement extracts the previous-frame state requirement: exactly the
+// PPI values this frame's justification assigned.
+func (s *syncSearch) requirement(f *syncFrameState) []sim.V3 {
+	return append([]sim.V3(nil), f.ppiAssign...)
+}
+
+// assignForTargets makes one justification decision toward the first open
+// target and reports whether any assignment was possible.
+func (s *syncSearch) assignForTargets(f *syncFrameState, target, vals, next []sim.V3) bool {
+	c := s.e.net.C
+	for i, want := range target {
+		if want == sim.X || next[i] == want {
+			continue
+		}
+		d := c.Nodes[c.DFFs[i]].Fanin[0]
+		if dec, ok := s.backtrace(f, vals, d, want); ok {
+			s.applyDecision(f, dec)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *syncSearch) applyDecision(f *syncFrameState, dec syncDecision) {
+	f.decisions = append(f.decisions, dec)
+	if dec.isPPI {
+		f.ppiAssign[dec.idx] = dec.order[0]
+	} else {
+		f.piAssign[dec.idx] = dec.order[0]
+	}
+}
+
+// backtrace walks from an objective (node, value) through X-valued logic
+// to an assignable PI or PPI. PIs are preferred; assigning a PPI creates a
+// requirement for the previous frame.
+func (s *syncSearch) backtrace(f *syncFrameState, vals []sim.V3, id netlist.NodeID, want sim.V3) (syncDecision, bool) {
+	c := s.e.net.C
+	for hop := 0; hop < len(c.Nodes)+2; hop++ {
+		node := &c.Nodes[id]
+		switch node.Type {
+		case netlist.Input:
+			for i, pi := range c.PIs {
+				if pi == id && f.piAssign[i] == sim.X {
+					return syncDecision{idx: i, order: [2]sim.V3{want, sim.Not3(want)}}, true
+				}
+			}
+			return syncDecision{}, false
+		case netlist.DFF:
+			for i, ff := range c.DFFs {
+				if ff == id && f.ppiAssign[i] == sim.X {
+					return syncDecision{isPPI: true, idx: i, order: [2]sim.V3{want, sim.Not3(want)}}, true
+				}
+			}
+			return syncDecision{}, false
+		}
+		if invertsObjective(node.Type) {
+			want = sim.Not3(want)
+		}
+		next := netlist.None
+		bestCost := testability.Inf + 1
+		for _, in := range node.Fanin {
+			if vals[in] != sim.X {
+				continue
+			}
+			cost := s.e.meas.CC1[in]
+			if want == sim.Lo {
+				cost = s.e.meas.CC0[in]
+			}
+			// Prefer staying out of the state register.
+			if c.Nodes[in].Type == netlist.DFF {
+				cost = cost + testability.Inf/4
+			}
+			if cost < bestCost {
+				next, bestCost = in, cost
+			}
+		}
+		if next == netlist.None {
+			return syncDecision{}, false
+		}
+		id = next
+	}
+	return syncDecision{}, false
+}
+
+// backtrackFrame flips the deepest untried decision of the frame.
+func (s *syncSearch) backtrackFrame(f *syncFrameState) bool {
+	for len(f.decisions) > 0 {
+		d := &f.decisions[len(f.decisions)-1]
+		d.next++
+		if d.next < len(d.order) {
+			if !s.budget.Spend() {
+				return false
+			}
+			if d.isPPI {
+				f.ppiAssign[d.idx] = d.order[d.next]
+			} else {
+				f.piAssign[d.idx] = d.order[d.next]
+			}
+			return true
+		}
+		if d.isPPI {
+			f.ppiAssign[d.idx] = sim.X
+		} else {
+			f.piAssign[d.idx] = sim.X
+		}
+		f.decisions = f.decisions[:len(f.decisions)-1]
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+// Package sim provides the simulation substrate for the ATPG system:
+// levelized multi-valued evaluation of the combinational block under the
+// 3-valued (0/1/X), 5-valued (D-algebra), 8-valued (two-frame delay
+// algebra) and 64-way bit-parallel 2-valued domains, plus sequential
+// (multi-frame) simulation with fault injection at stem or fanout-branch
+// granularity.
+package sim
+
+import "fogbuster/internal/netlist"
+
+// Net is a precomputed simulation view of a circuit. It adds, for every
+// gate input position, the index of the corresponding fanout branch of the
+// driving node, so faults can be injected on individual branches.
+type Net struct {
+	C *netlist.Circuit
+
+	// faninBranch[n][i] is the branch index b such that
+	// C.Node(fanin).Fanout[b] is exactly this connection.
+	faninBranch [][]int32
+}
+
+// NewNet builds the simulation view. The construction mirrors the fanout
+// ordering of netlist: fanout entries are appended iterating nodes in ID
+// order and fanins in position order.
+func NewNet(c *netlist.Circuit) *Net {
+	n := &Net{C: c, faninBranch: make([][]int32, len(c.Nodes))}
+	counter := make([]int32, len(c.Nodes))
+	for i := range c.Nodes {
+		node := &c.Nodes[i]
+		if len(node.Fanin) == 0 {
+			continue
+		}
+		br := make([]int32, len(node.Fanin))
+		for j, in := range node.Fanin {
+			br[j] = counter[in]
+			counter[in]++
+		}
+		n.faninBranch[i] = br
+	}
+	return n
+}
+
+// BranchOf returns the fanout branch index of the connection feeding input
+// position pos of node id.
+func (n *Net) BranchOf(id netlist.NodeID, pos int) int {
+	return int(n.faninBranch[id][pos])
+}
+
+// OnLine reports whether the connection feeding input position pos of node
+// id lies on the given line: either the line is the driver's stem, or it is
+// exactly this branch.
+func (n *Net) OnLine(l netlist.Line, id netlist.NodeID, pos int) bool {
+	if n.C.Nodes[id].Fanin[pos] != l.Node {
+		return false
+	}
+	return l.IsStem() || int(n.faninBranch[id][pos]) == l.Branch
+}
+
+// NumNodes returns the node count of the underlying circuit.
+func (n *Net) NumNodes() int { return len(n.C.Nodes) }

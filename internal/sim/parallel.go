@@ -1,0 +1,88 @@
+package sim
+
+import "fogbuster/internal/netlist"
+
+// Word is a 64-way parallel two-valued signal: bit k holds the value of
+// the signal under pattern k.
+type Word = uint64
+
+// EvalGate64 evaluates one gate over 64 patterns at once.
+func EvalGate64(t netlist.GateType, ins []Word) Word {
+	var v Word
+	switch t {
+	case netlist.Buf, netlist.DFF:
+		return ins[0]
+	case netlist.Not:
+		return ^ins[0]
+	case netlist.And, netlist.Nand:
+		v = ^Word(0)
+		for _, in := range ins {
+			v &= in
+		}
+		if t == netlist.Nand {
+			v = ^v
+		}
+	case netlist.Or, netlist.Nor:
+		for _, in := range ins {
+			v |= in
+		}
+		if t == netlist.Nor {
+			v = ^v
+		}
+	case netlist.Xor, netlist.Xnor:
+		for _, in := range ins {
+			v ^= in
+		}
+		if t == netlist.Xnor {
+			v = ^v
+		}
+	default:
+		panic("sim: EvalGate64 on non-gate " + t.String())
+	}
+	return v
+}
+
+// Eval64 evaluates the combinational block over 64 patterns in parallel.
+// vals must hold PI and PPI words on entry.
+func (n *Net) Eval64(vals []Word) {
+	c := n.C
+	var ins [16]Word
+	for _, id := range c.GateOrder() {
+		node := &c.Nodes[id]
+		buf := ins[:0]
+		if len(node.Fanin) > len(ins) {
+			buf = make([]Word, 0, len(node.Fanin))
+		}
+		for _, in := range node.Fanin {
+			buf = append(buf, vals[in])
+		}
+		vals[id] = EvalGate64(node.Type, buf)
+	}
+}
+
+// NextState64 extracts the PPO words after Eval64.
+func (n *Net) NextState64(vals []Word) []Word {
+	c := n.C
+	next := make([]Word, len(c.DFFs))
+	for i, ff := range c.DFFs {
+		next[i] = vals[c.Nodes[ff].Fanin[0]]
+	}
+	return next
+}
+
+// LoadFrame64 fills a fresh word array with PI and state words.
+func (n *Net) LoadFrame64(vector, state []Word) []Word {
+	c := n.C
+	vals := make([]Word, len(c.Nodes))
+	for i, pi := range c.PIs {
+		if vector != nil {
+			vals[pi] = vector[i]
+		}
+	}
+	for i, ff := range c.DFFs {
+		if state != nil {
+			vals[ff] = state[i]
+		}
+	}
+	return vals
+}

@@ -1,0 +1,200 @@
+package sim
+
+import "fogbuster/internal/netlist"
+
+// V3 is a three-valued logic value: 0, 1 or unknown.
+type V3 uint8
+
+// The three values. X is the unknown; at power-up all flip-flops hold X.
+const (
+	Lo V3 = 0
+	Hi V3 = 1
+	X  V3 = 2
+)
+
+// String returns "0", "1" or "X".
+func (v V3) String() string {
+	switch v {
+	case Lo:
+		return "0"
+	case Hi:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Known reports whether the value is 0 or 1.
+func (v V3) Known() bool { return v != X }
+
+// Not3 returns the three-valued complement.
+func Not3(v V3) V3 {
+	switch v {
+	case Lo:
+		return Hi
+	case Hi:
+		return Lo
+	default:
+		return X
+	}
+}
+
+// And3 returns the three-valued conjunction.
+func And3(a, b V3) V3 {
+	if a == Lo || b == Lo {
+		return Lo
+	}
+	if a == Hi && b == Hi {
+		return Hi
+	}
+	return X
+}
+
+// Or3 returns the three-valued disjunction.
+func Or3(a, b V3) V3 {
+	if a == Hi || b == Hi {
+		return Hi
+	}
+	if a == Lo && b == Lo {
+		return Lo
+	}
+	return X
+}
+
+// Xor3 returns the three-valued exclusive or.
+func Xor3(a, b V3) V3 {
+	if a == X || b == X {
+		return X
+	}
+	return a ^ b
+}
+
+// EvalGate3 evaluates one gate over three-valued inputs.
+func EvalGate3(t netlist.GateType, ins []V3) V3 {
+	var v V3
+	switch t {
+	case netlist.Buf, netlist.DFF:
+		return ins[0]
+	case netlist.Not:
+		return Not3(ins[0])
+	case netlist.And, netlist.Nand:
+		v = Hi
+		for _, in := range ins {
+			v = And3(v, in)
+		}
+		if t == netlist.Nand {
+			v = Not3(v)
+		}
+	case netlist.Or, netlist.Nor:
+		v = Lo
+		for _, in := range ins {
+			v = Or3(v, in)
+		}
+		if t == netlist.Nor {
+			v = Not3(v)
+		}
+	case netlist.Xor, netlist.Xnor:
+		v = Lo
+		for _, in := range ins {
+			v = Xor3(v, in)
+		}
+		if t == netlist.Xnor {
+			v = Not3(v)
+		}
+	default:
+		panic("sim: EvalGate3 on non-gate " + t.String())
+	}
+	return v
+}
+
+// Inject3 describes a three-valued fault injection: every reader of the
+// line (and, for a stem, the node's own PO/PPO observation) sees Value
+// instead of the driven value.
+type Inject3 struct {
+	Line  netlist.Line
+	Value V3
+}
+
+// Eval3 evaluates the combinational block. vals must hold the PI and PPI
+// values at their node indices on entry; all other entries are overwritten.
+// A stem injection replaces the node's value outright; a branch injection
+// is applied only on the faulty connection.
+func (n *Net) Eval3(vals []V3, inj *Inject3) {
+	c := n.C
+	var ins [16]V3
+	// A stem injection on a PI or PPI overrides the source value itself,
+	// before any consumer reads it.
+	if inj != nil && inj.Line.IsStem() {
+		if t := c.Nodes[inj.Line.Node].Type; t == netlist.Input || t == netlist.DFF {
+			vals[inj.Line.Node] = inj.Value
+		}
+	}
+	for _, id := range c.GateOrder() {
+		node := &c.Nodes[id]
+		buf := ins[:0]
+		if len(node.Fanin) > len(ins) {
+			buf = make([]V3, 0, len(node.Fanin))
+		}
+		for pos, in := range node.Fanin {
+			v := vals[in]
+			if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, id, pos) {
+				v = inj.Value
+			}
+			buf = append(buf, v)
+		}
+		v := EvalGate3(node.Type, buf)
+		if inj != nil && inj.Line.IsStem() && inj.Line.Node == id {
+			v = inj.Value
+		}
+		vals[id] = v
+	}
+}
+
+// NextState3 extracts the PPO values (the next state) after Eval3. A stem
+// or DFF-feeding branch injection on the PPO connection is respected.
+func (n *Net) NextState3(vals []V3, inj *Inject3) []V3 {
+	c := n.C
+	next := make([]V3, len(c.DFFs))
+	for i, ff := range c.DFFs {
+		d := c.Nodes[ff].Fanin[0]
+		v := vals[d]
+		if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, ff, 0) {
+			v = inj.Value
+		}
+		next[i] = v
+	}
+	return next
+}
+
+// Outputs3 extracts the PO values after Eval3.
+func (n *Net) Outputs3(vals []V3) []V3 {
+	c := n.C
+	out := make([]V3, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = vals[po]
+	}
+	return out
+}
+
+// LoadFrame fills a fresh value array with PI vector and state values,
+// leaving gate entries at Lo (they are overwritten by Eval3). vector and
+// state use PI/DFF declaration order; a nil vector or state means all-X.
+func (n *Net) LoadFrame(vector, state []V3) []V3 {
+	c := n.C
+	vals := make([]V3, len(c.Nodes))
+	for i, pi := range c.PIs {
+		if vector == nil {
+			vals[pi] = X
+		} else {
+			vals[pi] = vector[i]
+		}
+	}
+	for i, ff := range c.DFFs {
+		if state == nil {
+			vals[ff] = X
+		} else {
+			vals[ff] = state[i]
+		}
+	}
+	return vals
+}

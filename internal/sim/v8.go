@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+)
+
+// InjectDelay identifies a gate delay fault site for two-frame simulation:
+// when the fault-free two-frame value at the line is the matching clean
+// transition, it is converted into the corresponding fault-carrying value
+// (R into Rc for slow-to-rise, F into Fc for slow-to-fall), exactly the
+// paper's rule that the conversion happens only at the fault location.
+type InjectDelay struct {
+	Line       netlist.Line
+	SlowToRise bool // else slow-to-fall
+}
+
+func (d *InjectDelay) apply(v logic.Value) logic.Value {
+	if d.SlowToRise && v == logic.Rise {
+		return logic.RiseC
+	}
+	if !d.SlowToRise && v == logic.Fall {
+		return logic.FallC
+	}
+	return v
+}
+
+// Eval8 evaluates the combinational block in the eight-valued two-frame
+// algebra. vals must hold PI and PPI values on entry (normally from
+// LoadFrame8). The optional injection excites a delay fault at its site.
+func (n *Net) Eval8(alg *logic.Algebra, vals []logic.Value, inj *InjectDelay) {
+	c := n.C
+	var ins [16]logic.Value
+	if inj != nil && inj.Line.IsStem() {
+		if t := c.Nodes[inj.Line.Node].Type; t == netlist.Input || t == netlist.DFF {
+			vals[inj.Line.Node] = inj.apply(vals[inj.Line.Node])
+		}
+	}
+	for _, id := range c.GateOrder() {
+		node := &c.Nodes[id]
+		buf := ins[:0]
+		if len(node.Fanin) > len(ins) {
+			buf = make([]logic.Value, 0, len(node.Fanin))
+		}
+		for pos, in := range node.Fanin {
+			v := vals[in]
+			if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, id, pos) {
+				v = inj.apply(v)
+			}
+			buf = append(buf, v)
+		}
+		v := alg.Eval(node.Type, buf)
+		if inj != nil && inj.Line.IsStem() && inj.Line.Node == id {
+			v = inj.apply(v)
+		}
+		vals[id] = v
+	}
+}
+
+// NextState8 extracts the PPO two-frame values after Eval8, respecting an
+// injection on a DFF-feeding branch.
+func (n *Net) NextState8(vals []logic.Value, inj *InjectDelay) []logic.Value {
+	c := n.C
+	next := make([]logic.Value, len(c.DFFs))
+	for i, ff := range c.DFFs {
+		d := c.Nodes[ff].Fanin[0]
+		v := vals[d]
+		if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, ff, 0) {
+			v = inj.apply(v)
+		}
+		next[i] = v
+	}
+	return next
+}
+
+// LoadFrame8 builds the two-frame value array from two binary PI vectors
+// (the initial-frame vector v1 and the test-frame vector v2) and the two
+// consecutive states s0 (present during the initial frame) and s1 (latched
+// into the flip-flops at the frame boundary). All inputs must be fully
+// specified: the paper performs random X-fill before fault simulation.
+func (n *Net) LoadFrame8(v1, v2, s0, s1 []V3) []logic.Value {
+	c := n.C
+	vals := make([]logic.Value, len(c.Nodes))
+	toVal := func(a, b V3) logic.Value {
+		return logic.FromEndpoints(uint8(a), uint8(b), false)
+	}
+	for i, pi := range c.PIs {
+		vals[pi] = toVal(v1[i], v2[i])
+	}
+	for i, ff := range c.DFFs {
+		vals[ff] = toVal(s0[i], s1[i])
+	}
+	return vals
+}

@@ -1,0 +1,339 @@
+// Package tdgen implements TDgen, the paper's local test pattern generator
+// for robust gate delay faults (Section 3). It works on the two-frame
+// model of the combinational block: the initial (slow clock) frame and the
+// fast test frame are handled simultaneously by the eight-valued algebra
+// of package logic.
+//
+// The search is a PODEM-style branch-and-bound that is complete: decisions
+// are made only at primary and pseudo primary inputs, whose domain is
+// {0,1,R,F}; implications are exact forward set images through the
+// circuit, coupled across the state register by the paper's "truth table
+// for the state register" (the PPI's final value equals the PPO's
+// initial-frame value). A fault is proven locally untestable when the
+// decision tree is exhausted, and aborted when the backtrack budget (100
+// in the paper) runs out.
+//
+// The generator is resumable: after a successful test, Next may be called
+// again to enumerate the next distinct local test. The combined engine
+// uses this for the paper's "backtracking between these steps" when
+// sequential propagation or initialization fails.
+package tdgen
+
+import (
+	"fogbuster/internal/faults"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/testability"
+)
+
+// Status is the outcome of a Next call.
+type Status uint8
+
+const (
+	// Found means a robust local test was generated.
+	Found Status = iota
+	// Untestable means the search space is exhausted: no (further) robust
+	// local test exists for the fault.
+	Untestable
+	// Aborted means the backtrack budget was exceeded.
+	Aborted
+)
+
+// String returns the paper's vocabulary for the status.
+func (s Status) String() string {
+	switch s {
+	case Found:
+		return "found"
+	case Untestable:
+		return "untestable"
+	default:
+		return "aborted"
+	}
+}
+
+// Options configures a Generator.
+type Options struct {
+	// Algebra selects the fault model; nil means logic.Robust.
+	Algebra *logic.Algebra
+	// MaxBacktracks is the backtrack budget; 0 means the paper's 100.
+	MaxBacktracks int
+}
+
+// Solution is one robust local test: the two PI vectors of the time-frame
+// pair, the required state during the initial frame, and the observation
+// point of the fault effect.
+type Solution struct {
+	// V1 and V2 are the PI vectors of the initial and test frame; X
+	// entries are don't-cares.
+	V1, V2 []sim.V3
+	// State0 is the state required during the initial frame (the init
+	// state the synchronization phase must reach); X entries are
+	// don't-cares.
+	State0 []sim.V3
+	// ObservePO is the PO index where the effect is observable, or -1.
+	ObservePO int
+	// ObservePPO is the FF index whose D input captures the effect at the
+	// fast clock edge, or -1. Exactly one of the two observation fields
+	// is set; a PO observation is preferred.
+	ObservePPO int
+	// PPOFinal is the state knowledge handed to the sequential engine for
+	// the propagation phase, one value per FF: a known bit for PPOs the
+	// robust model lets TDgen specify, D/D' at the faulty PPO, and X for
+	// the paper's unjustifiable don't-cares (fixed but unknown values).
+	PPOFinal []sim.V5
+	// Sets are the final value sets per node, for diagnostics and tests.
+	Sets []logic.Set
+}
+
+// Generator enumerates robust local tests for one delay fault.
+type Generator struct {
+	net   *sim.Net
+	alg   *logic.Algebra
+	fault faults.Delay
+	meas  *testability.Measures
+
+	inputs   []netlist.NodeID // PIs then FFs: the decision variables
+	assign   []logic.Set      // per node: current input domain (inputs only)
+	sets     []logic.Set      // per node: value sets from the last propagate
+	inCone   []bool           // node may carry the fault effect
+	siteDrv  bool             // fault site is a stem on a PI/PPI (no driving gate)
+	obsPO    []netlist.NodeID // PO nodes
+	ppoOfFF  []netlist.NodeID // D-driver node per FF
+	maxBack  int
+	nBack    int
+	stack    []decision
+	started  bool
+	lastGood bool // last Next returned Found; resume must first backtrack
+	dead     bool // search exhausted or aborted
+}
+
+// decision is one branch point of the search. For a primary input the
+// options are the four singleton values {0},{1},{R},{F}: both frame values
+// are freely applied. For a pseudo primary input only the initial-frame
+// bit is controllable (it will be synchronized); the options are the two
+// init-halves of the domain, {0,R} and {1,F}, and the final value is tied
+// to the PPO by the state-register coupling.
+type decision struct {
+	node    netlist.NodeID
+	options []logic.Set
+	next    int
+}
+
+// Decision option orders. PI orders are value preferences; PPI orders pick
+// the initial-frame bit.
+var (
+	piRiseFirst = []logic.Set{logic.S(logic.Rise), logic.S(logic.Fall), logic.S(logic.One), logic.S(logic.Zero)}
+	piFallFirst = []logic.Set{logic.S(logic.Fall), logic.S(logic.Rise), logic.S(logic.Zero), logic.S(logic.One)}
+	piOneFirst  = []logic.Set{logic.S(logic.One), logic.S(logic.Zero), logic.S(logic.Rise), logic.S(logic.Fall)}
+	piZeroFirst = []logic.Set{logic.S(logic.Zero), logic.S(logic.One), logic.S(logic.Fall), logic.S(logic.Rise)}
+
+	ppiInit0First = []logic.Set{logic.S(logic.Zero, logic.Rise), logic.S(logic.One, logic.Fall)}
+	ppiInit1First = []logic.Set{logic.S(logic.One, logic.Fall), logic.S(logic.Zero, logic.Rise)}
+)
+
+// New prepares a generator for the fault. The testability measures may be
+// shared across faults of the same circuit; nil computes them on demand.
+func New(net *sim.Net, f faults.Delay, meas *testability.Measures, opts Options) *Generator {
+	c := net.C
+	alg := opts.Algebra
+	if alg == nil {
+		alg = logic.Robust
+	}
+	if meas == nil {
+		meas = testability.Compute(c)
+	}
+	maxBack := opts.MaxBacktracks
+	if maxBack == 0 {
+		maxBack = 100
+	}
+	g := &Generator{
+		net:     net,
+		alg:     alg,
+		fault:   f,
+		meas:    meas,
+		assign:  make([]logic.Set, len(c.Nodes)),
+		sets:    make([]logic.Set, len(c.Nodes)),
+		maxBack: maxBack,
+	}
+	for _, pi := range c.PIs {
+		g.inputs = append(g.inputs, pi)
+		g.assign[pi] = logic.PIDomain
+	}
+	for _, ff := range c.DFFs {
+		g.inputs = append(g.inputs, ff)
+		g.assign[ff] = logic.PIDomain
+	}
+	g.obsPO = append(g.obsPO, c.POs...)
+	g.ppoOfFF = c.PPOs()
+	st := c.Nodes[f.Line.Node].Type
+	g.siteDrv = f.Line.IsStem() && (st == netlist.Input || st == netlist.DFF)
+	g.computeCone()
+	return g
+}
+
+// computeCone marks every node whose value may carry the fault effect:
+// the forward closure of the site connection.
+func (g *Generator) computeCone() {
+	c := g.net.C
+	g.inCone = make([]bool, len(c.Nodes))
+	var mark func(id netlist.NodeID)
+	mark = func(id netlist.NodeID) {
+		if g.inCone[id] {
+			return
+		}
+		g.inCone[id] = true
+		for _, f := range c.Nodes[id].Fanout {
+			if c.Nodes[f].Type != netlist.DFF {
+				mark(f)
+			}
+		}
+	}
+	l := g.fault.Line
+	if l.IsStem() {
+		mark(l.Node)
+		return
+	}
+	// Branch fault: only the branch's consumer cone carries; the stem
+	// itself stays plain.
+	consumer := c.Nodes[l.Node].Fanout[l.Branch]
+	if c.Nodes[consumer].Type != netlist.DFF {
+		mark(consumer)
+	}
+}
+
+// siteMap converts the clean transition into the fault-carrying value, the
+// paper's rule applied only at the fault location.
+func (g *Generator) siteMap(s logic.Set) logic.Set {
+	if g.fault.Type == faults.SlowToRise {
+		if s.Has(logic.Rise) {
+			return s.Del(logic.Rise).Add(logic.RiseC)
+		}
+		return s
+	}
+	if s.Has(logic.Fall) {
+		return s.Del(logic.Fall).Add(logic.FallC)
+	}
+	return s
+}
+
+// readIn returns the value set presented to input position pos of node id,
+// applying the site conversion on the faulty branch.
+func (g *Generator) readIn(id netlist.NodeID, pos int) logic.Set {
+	in := g.net.C.Nodes[id].Fanin[pos]
+	s := g.sets[in]
+	l := g.fault.Line
+	if !l.IsStem() && in == l.Node && g.net.OnLine(l, id, pos) {
+		s = g.siteMap(s)
+	}
+	return s
+}
+
+// propagate recomputes all value sets from the current input assignment to
+// a fixpoint and reports consistency: false when some set is empty or the
+// fault effect can no longer reach any observable output.
+func (g *Generator) propagate() bool {
+	c := g.net.C
+	for i := range c.Nodes {
+		switch c.Nodes[i].Type {
+		case netlist.Input, netlist.DFF:
+			s := g.assign[i]
+			if g.siteDrv && g.fault.Line.Node == netlist.NodeID(i) {
+				s = g.siteMap(s)
+			}
+			g.sets[i] = s
+		default:
+			if g.inCone[i] {
+				g.sets[i] = logic.FullSet
+			} else {
+				g.sets[i] = logic.PlainSet
+			}
+		}
+	}
+	var ins [16]logic.Set
+	for {
+		changed := false
+		for _, id := range c.GateOrder() {
+			node := &c.Nodes[id]
+			buf := ins[:0]
+			if len(node.Fanin) > len(ins) {
+				buf = make([]logic.Set, 0, len(node.Fanin))
+			}
+			for pos := range node.Fanin {
+				buf = append(buf, g.readIn(id, pos))
+			}
+			img := g.alg.EvalSet(node.Type, buf)
+			if g.fault.Line.IsStem() && g.fault.Line.Node == id {
+				img = g.siteMap(img)
+			}
+			img &= g.sets[id]
+			if img != g.sets[id] {
+				g.sets[id] = img
+				changed = true
+			}
+			if img == logic.EmptySet {
+				return false
+			}
+		}
+		// State register coupling: the PPI's final value is the PPO's
+		// initial-frame value. The narrowing is strictly one-directional
+		// (PPO image -> PPI): the latched value is whatever the circuit
+		// produces in the initial frame, so the PPO set must remain a pure
+		// forward image. Pinning a PPI's final value therefore requires
+		// the search to justify the PPO's initial-frame value through
+		// ordinary input decisions; anything else would assume state the
+		// synchronizable machine cannot deliver.
+		for i, ff := range c.DFFs {
+			ppi, ppo := ff, g.ppoOfFF[i]
+			var inits [2]bool
+			for _, v := range g.sets[ppo].Values() {
+				inits[v.Initial()] = true
+			}
+			newPPI := logic.EmptySet
+			for _, v := range g.sets[ppi].Values() {
+				if inits[v.Final()] {
+					newPPI = newPPI.Add(v)
+				}
+			}
+			if newPPI != g.sets[ppi] {
+				changed = true
+				g.sets[ppi] = newPPI
+				if newPPI == logic.EmptySet {
+					return false
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// X-path check: the effect must still be able to reach a PO or PPO.
+	for _, po := range g.obsPO {
+		if g.sets[po]&logic.CarrySet != 0 {
+			return true
+		}
+	}
+	for _, ppo := range g.ppoOfFF {
+		if g.sets[ppo]&logic.CarrySet != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// observation returns the achieved observation point, preferring POs:
+// (poIndex, -1), (-1, ffIndex), or (-1, -1) when no output is guaranteed
+// to carry the effect yet.
+func (g *Generator) observation() (int, int) {
+	for i, po := range g.obsPO {
+		if v, ok := g.sets[po].Singleton(); ok && v.Carrying() {
+			return i, -1
+		}
+	}
+	for i, ppo := range g.ppoOfFF {
+		if v, ok := g.sets[ppo].Singleton(); ok && v.Carrying() {
+			return -1, i
+		}
+	}
+	return -1, -1
+}

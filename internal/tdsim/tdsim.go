@@ -1,0 +1,239 @@
+// Package tdsim implements TDsim, the delay fault simulator integrated in
+// TDgen (paper Section 5, phase 3): robust gate delay fault simulation of
+// the fast time frame by critical path tracing (CPT) from all primary
+// outputs and from the PPOs that FAUSIM found observable in the
+// propagation phase, including the invalidation analysis for faults
+// detected through a PPO.
+//
+// Critical path tracing yields candidate faults; each candidate is
+// confirmed by exact fault injection in the eight-valued two-frame
+// algebra, which handles reconvergent stems soundly. A candidate observed
+// only at a PPO is finally confirmed by replaying the propagation frames
+// with the corrupted captured state, which subsumes the paper's separate
+// invalidation CPT: a side effect that destroys a state value the
+// propagation relied on simply makes the replay lose the difference.
+package tdsim
+
+import (
+	"fogbuster/internal/faults"
+	"fogbuster/internal/fausim"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// Sim performs fast-frame delay fault simulation for one algebra.
+type Sim struct {
+	net *sim.Net
+	alg *logic.Algebra
+	fs  *fausim.Sim
+}
+
+// New builds the simulator.
+func New(net *sim.Net, alg *logic.Algebra) *Sim {
+	return &Sim{net: net, alg: alg, fs: fausim.New(net)}
+}
+
+// FastFrame holds the concrete two-frame situation of one applied test:
+// the two PI vectors, the state during the initial frame and the state
+// latched for the test frame (all fully specified), plus the propagation
+// vectors that follow the fast frame.
+type FastFrame struct {
+	V1, V2 []sim.V3
+	S0, S1 []sim.V3
+	Prop   [][]sim.V3
+}
+
+// Values computes the fault-free two-frame value of every node.
+func (s *Sim) Values(ff *FastFrame) []logic.Value {
+	vals := s.net.LoadFrame8(ff.V1, ff.V2, ff.S0, ff.S1)
+	s.net.Eval8(s.alg, vals, nil)
+	return vals
+}
+
+// Detect runs the phase-2/phase-3 analysis for one applied test and
+// returns the set of delay faults the test detects robustly. skip filters
+// faults that need no further simulation (already classified); it may be
+// nil.
+func (s *Sim) Detect(ff *FastFrame, skip func(faults.Delay) bool) []faults.Delay {
+	vals := s.Values(ff)
+
+	// Phase 2 (FAUSIM): which PPOs with a potential fault effect are
+	// observable at a PO through the propagation frames?
+	goodS2 := make([]sim.V3, len(s.net.C.DFFs))
+	nonSteady := make([]bool, len(s.net.C.DFFs))
+	ppos := s.net.C.PPOs()
+	for i, ppo := range ppos {
+		goodS2[i] = sim.V3(vals[ppo].Final())
+		nonSteady[i] = !vals[ppo].Steady()
+	}
+	obsPPO := s.fs.ObservablePPOs(goodS2, nonSteady, ff.Prop)
+
+	// Phase 3 (TDsim): critical path tracing from the POs and from the
+	// observable PPOs, then exact confirmation per candidate.
+	cands := s.candidates(vals, obsPPO)
+	var detected []faults.Delay
+	for _, f := range cands {
+		if skip != nil && skip(f) {
+			continue
+		}
+		if s.Confirm(ff, vals, goodS2, f) {
+			detected = append(detected, f)
+		}
+	}
+	return detected
+}
+
+// Confirm checks one fault exactly against the applied test: injection in
+// the fast frame, direct PO observation, and otherwise replay of the
+// propagation frames with the corrupted captured state.
+func (s *Sim) Confirm(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, f faults.Delay) bool {
+	inj := &sim.InjectDelay{Line: f.Line, SlowToRise: f.Type == faults.SlowToRise}
+	vals := s.net.LoadFrame8(ff.V1, ff.V2, ff.S0, ff.S1)
+	s.net.Eval8(s.alg, vals, inj)
+
+	// Robust observation at a PO in the fast frame.
+	for _, po := range s.net.C.POs {
+		if vals[po].Carrying() {
+			return true
+		}
+	}
+	// Observation through the state register: build the faulty captured
+	// state (a carrying PPO captures its initial value at the fast edge;
+	// fault-free signals settle) and replay the propagation frames with
+	// the complete joint corruption. The replay sees every side effect of
+	// the fault on the captured state, so a corrupted required value
+	// invalidates the detection naturally, and effects captured at
+	// several PPOs at once are judged together (a single-bit
+	// observability analysis would wrongly reject them).
+	carried := false
+	faultyS2 := make([]sim.V3, len(goodS2))
+	next := s.net.NextState8(vals, inj)
+	for i, w := range next {
+		if w.Carrying() {
+			faultyS2[i] = sim.V3(w.Initial())
+			carried = true
+		} else {
+			faultyS2[i] = sim.V3(w.Final())
+		}
+	}
+	if !carried || len(ff.Prop) == 0 {
+		return false
+	}
+	frame, po := s.fs.PairDiff(goodS2, faultyS2, ff.Prop)
+	return frame >= 0 && po >= 0
+}
+
+// candidates walks robust critical paths backwards from every observation
+// point and then supplements the result with every other transitioning
+// line in the observable input cones. The walk finds the single-path
+// robust detections cheaply (the classic CPT result); the supplement
+// covers multiple-path sensitization through reconvergent fanout, which
+// single-path tracing provably misses (a late stem can delay an output
+// even when no individual branch path is robust on its own). Every
+// candidate is confirmed exactly afterwards, so over-generation is sound.
+func (s *Sim) candidates(vals []logic.Value, obsPPO []bool) []faults.Delay {
+	c := s.net.C
+	seen := make(map[faults.Delay]bool)
+	var out []faults.Delay
+	add := func(l netlist.Line, v logic.Value) {
+		var t faults.DelayType
+		if v.Final() == 1 {
+			t = faults.SlowToRise
+		} else {
+			t = faults.SlowToFall
+		}
+		f := faults.Delay{Line: l, Type: t}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+
+	// The observable input cones.
+	cone := make([]bool, len(c.Nodes))
+	var mark func(id netlist.NodeID)
+	mark = func(id netlist.NodeID) {
+		if cone[id] {
+			return
+		}
+		cone[id] = true
+		for _, in := range c.Nodes[id].Fanin {
+			mark(in)
+		}
+	}
+	for _, po := range c.POs {
+		mark(po)
+	}
+	for i, ppo := range c.PPOs() {
+		if obsPPO[i] {
+			mark(ppo)
+		}
+	}
+
+	// Pass 1: robust single-path critical path tracing.
+	visited := make(map[netlist.NodeID]bool)
+	var trace func(id netlist.NodeID)
+	trace = func(id netlist.NodeID) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		v := vals[id]
+		if !v.HasTransition() {
+			return
+		}
+		add(netlist.Stem(id), v)
+		node := &c.Nodes[id]
+		if !node.Type.IsGate() {
+			return
+		}
+		ins := make([]logic.Value, len(node.Fanin))
+		for pos, in := range node.Fanin {
+			ins[pos] = vals[in]
+		}
+		for pos, in := range node.Fanin {
+			if !ins[pos].HasTransition() {
+				continue
+			}
+			// The input lies on a robust path exactly when promoting it
+			// to the fault-carrying value keeps the output carrying: the
+			// algebra's side-input conditions decide.
+			probe := append([]logic.Value(nil), ins...)
+			probe[pos] = probe[pos].WithCarry()
+			if !s.alg.Eval(node.Type, probe).Carrying() {
+				continue
+			}
+			if c.GateFanout(in) >= 2 {
+				add(netlist.Line{Node: in, Branch: s.net.BranchOf(id, pos)}, ins[pos])
+			}
+			trace(in)
+		}
+	}
+	for _, po := range c.POs {
+		trace(po)
+	}
+	for i, ppo := range c.PPOs() {
+		if obsPPO[i] {
+			trace(ppo)
+		}
+	}
+
+	// Pass 2: all remaining transitioning lines in the cones.
+	for i := range c.Nodes {
+		id := netlist.NodeID(i)
+		if !cone[id] || !vals[id].HasTransition() {
+			continue
+		}
+		add(netlist.Stem(id), vals[id])
+		if c.GateFanout(id) >= 2 {
+			node := &c.Nodes[id]
+			for b, consumer := range node.Fanout {
+				if c.Nodes[consumer].Type != netlist.DFF && cone[consumer] {
+					add(netlist.Line{Node: id, Branch: b}, vals[id])
+				}
+			}
+		}
+	}
+	return out
+}

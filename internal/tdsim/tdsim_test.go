@@ -1,0 +1,175 @@
+package tdsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/faults"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// randomFrame builds a random concrete fast-frame situation for a circuit.
+func randomFrame(c *netlist.Circuit, net *sim.Net, rng *rand.Rand, propFrames int) *FastFrame {
+	bits := func(n int) []sim.V3 {
+		out := make([]sim.V3, n)
+		for i := range out {
+			out[i] = sim.V3(rng.Intn(2))
+		}
+		return out
+	}
+	v1, v2, s0 := bits(len(c.PIs)), bits(len(c.PIs)), bits(len(c.DFFs))
+	f1 := net.LoadFrame(v1, s0)
+	net.Eval3(f1, nil)
+	s1 := net.NextState3(f1, nil)
+	ff := &FastFrame{V1: v1, V2: v2, S0: s0, S1: s1}
+	for k := 0; k < propFrames; k++ {
+		ff.Prop = append(ff.Prop, bits(len(c.PIs)))
+	}
+	return ff
+}
+
+// TestCPTMatchesExhaustiveInjection: on c17, critical path tracing plus
+// confirmation must find exactly the faults that brute-force injection
+// finds (combinational, so PO observation only).
+func TestCPTMatchesExhaustiveInjection(t *testing.T) {
+	c := bench.NewC17()
+	net := sim.NewNet(c)
+	td := New(net, logic.Robust)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		ff := randomFrame(c, net, rng, 0)
+		got := make(map[faults.Delay]bool)
+		for _, f := range td.Detect(ff, nil) {
+			got[f] = true
+		}
+		// Brute force: inject every fault, check carrying POs.
+		for _, f := range faults.AllDelay(c) {
+			inj := &sim.InjectDelay{Line: f.Line, SlowToRise: f.Type == faults.SlowToRise}
+			vals := net.LoadFrame8(ff.V1, ff.V2, ff.S0, ff.S1)
+			net.Eval8(logic.Robust, vals, inj)
+			want := false
+			for _, po := range c.POs {
+				if vals[po].Carrying() {
+					want = true
+				}
+			}
+			if got[f] != want {
+				t.Fatalf("trial %d fault %s: CPT %v, injection %v", trial, f.Name(c), got[f], want)
+			}
+		}
+	}
+}
+
+// TestDetectSequentialSoundness: every fault Detect reports on s27 must be
+// confirmed by the exact injection-and-replay check.
+func TestDetectSequentialSoundness(t *testing.T) {
+	c := bench.NewS27()
+	net := sim.NewNet(c)
+	td := New(net, logic.Robust)
+	rng := rand.New(rand.NewSource(27))
+	total := 0
+	for trial := 0; trial < 200; trial++ {
+		ff := randomFrame(c, net, rng, 3)
+		vals := td.Values(ff)
+		goodS2 := make([]sim.V3, len(c.DFFs))
+		nonSteady := make([]bool, len(c.DFFs))
+		for i, ppo := range c.PPOs() {
+			goodS2[i] = sim.V3(vals[ppo].Final())
+			nonSteady[i] = !vals[ppo].Steady()
+		}
+		for _, f := range td.Detect(ff, nil) {
+			total++
+			if !td.Confirm(ff, vals, goodS2, f) {
+				t.Fatalf("trial %d: Detect reported %s but Confirm rejects it", trial, f.Name(c))
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no detections in 200 random trials; simulator inert")
+	}
+}
+
+// TestInvalidationByStateCorruption reproduces the paper's invalidation
+// scenario: a fault observed only through a PPO whose own side effect
+// corrupts the state the propagation relies on must not be credited.
+// Circuit: the fault effect reaches both FFs; through the XOR the two
+// corruptions cancel, so the PO never sees a difference even though each
+// captured bit individually carries the effect.
+func TestInvalidationByStateCorruption(t *testing.T) {
+	b := netlist.NewBuilder("invalidate")
+	b.Input("a")
+	b.Input("en")
+	b.Gate("na", netlist.Not, "a")
+	b.Gate("da", netlist.Buf, "na") // PPO A <- effect site cone
+	b.DFF("qa", "da")
+	b.Gate("db", netlist.Buf, "na") // PPO B shares the cone: side effect
+	b.DFF("qb", "db")
+	b.Gate("y", netlist.Xor, "qa", "qb")
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := sim.NewNet(c)
+	td := New(net, logic.Robust)
+
+	// a falls, so na rises late under the StR fault at na; both FFs
+	// capture the (late) rise. Propagation of the qa effect needs qb=1,
+	// which the fault breaks in exactly the same cycle.
+	ff := &FastFrame{
+		V1: []sim.V3{sim.Hi, sim.Lo}, V2: []sim.V3{sim.Lo, sim.Lo},
+		S0: []sim.V3{sim.Lo, sim.Lo}, S1: []sim.V3{sim.Lo, sim.Lo},
+		Prop: [][]sim.V3{{sim.Lo, sim.Lo}},
+	}
+	vals := td.Values(ff)
+	goodS2 := []sim.V3{sim.Hi, sim.Hi}
+	for i, ppo := range c.PPOs() {
+		if got := sim.V3(vals[ppo].Final()); got != goodS2[i] {
+			t.Fatalf("PPO %d good capture = %v, want 1", i, got)
+		}
+	}
+	f := faults.Delay{Line: netlist.Stem(c.LookupID("na")), Type: faults.SlowToRise}
+	if td.Confirm(ff, vals, goodS2, f) {
+		t.Fatal("fault credited although its side effect invalidates the propagation state")
+	}
+}
+
+// TestNoFalseStR: a line that never transitions in the frame must not
+// yield candidates.
+func TestNoFalseCandidates(t *testing.T) {
+	c := bench.NewC17()
+	net := sim.NewNet(c)
+	td := New(net, logic.Robust)
+	same := []sim.V3{sim.Hi, sim.Hi, sim.Hi, sim.Hi, sim.Hi}
+	ff := &FastFrame{V1: same, V2: same, S0: nil, S1: nil}
+	if got := td.Detect(ff, nil); len(got) != 0 {
+		t.Fatalf("static frame detected %d faults", len(got))
+	}
+}
+
+// TestSkipFilter: the skip callback must suppress already-classified
+// faults.
+func TestSkipFilter(t *testing.T) {
+	c := bench.NewC17()
+	net := sim.NewNet(c)
+	td := New(net, logic.Robust)
+	rng := rand.New(rand.NewSource(3))
+	ff := randomFrame(c, net, rng, 0)
+	all := td.Detect(ff, nil)
+	if len(all) == 0 {
+		t.Skip("frame detects nothing; rng unlucky")
+	}
+	skip := all[0]
+	rest := td.Detect(ff, func(f faults.Delay) bool { return f == skip })
+	for _, f := range rest {
+		if f == skip {
+			t.Fatal("skip filter ignored")
+		}
+	}
+	if len(rest) != len(all)-1 {
+		t.Fatalf("rest = %d, want %d", len(rest), len(all)-1)
+	}
+}

@@ -1,0 +1,169 @@
+// Package testability computes SCOAP-style controllability and
+// observability measures. The ATPG engines use them only as decision
+// ordering heuristics (which input to assign first, which D-frontier gate
+// to push), never for correctness.
+package testability
+
+import "fogbuster/internal/netlist"
+
+// Inf is the cost of an unreachable objective. Costs saturate at Inf.
+const Inf = int32(1 << 28)
+
+// ppiCost is the extra cost of controlling or observing through the state
+// register: a pseudo primary input is harder to set than a primary input,
+// and a pseudo primary output is harder to observe than a primary output.
+const ppiCost = 20
+
+// Measures holds per-node SCOAP values.
+type Measures struct {
+	CC0 []int32 // cost of setting the node to 0
+	CC1 []int32 // cost of setting the node to 1
+	CO  []int32 // cost of observing the node at a PO (or PPO, with penalty)
+}
+
+// Compute derives the measures for a circuit. Flip-flop outputs cost
+// ppiCost plus the controllability of their D input in the previous frame
+// (approximated by one fixpoint sweep, which is exact for pipelines and a
+// sound upper-estimate with feedback).
+func Compute(c *netlist.Circuit) *Measures {
+	n := len(c.Nodes)
+	m := &Measures{CC0: make([]int32, n), CC1: make([]int32, n), CO: make([]int32, n)}
+	for i := range m.CC0 {
+		m.CC0[i], m.CC1[i], m.CO[i] = Inf, Inf, Inf
+	}
+	for _, pi := range c.PIs {
+		m.CC0[pi], m.CC1[pi] = 1, 1
+	}
+	for _, ff := range c.DFFs {
+		m.CC0[ff], m.CC1[ff] = ppiCost, ppiCost
+	}
+	// Two controllability sweeps: the second lets FF costs reflect their
+	// D-input cones once.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range c.GateOrder() {
+			m.gateControllability(c, id)
+		}
+		for _, ff := range c.DFFs {
+			d := c.Nodes[ff].Fanin[0]
+			m.CC0[ff] = satAdd(m.CC0[d], ppiCost)
+			m.CC1[ff] = satAdd(m.CC1[d], ppiCost)
+		}
+	}
+	// Observability, from the outputs backwards.
+	for _, po := range c.POs {
+		m.CO[po] = 0
+	}
+	for _, ff := range c.DFFs {
+		d := c.Nodes[ff].Fanin[0]
+		if v := int32(ppiCost); v < m.CO[d] {
+			m.CO[d] = v
+		}
+	}
+	order := c.GateOrder()
+	for k := len(order) - 1; k >= 0; k-- {
+		m.gateObservability(c, order[k])
+	}
+	return m
+}
+
+func satAdd(a, b int32) int32 {
+	s := a + b
+	if s > Inf || s < 0 {
+		return Inf
+	}
+	return s
+}
+
+func (m *Measures) gateControllability(c *netlist.Circuit, id netlist.NodeID) {
+	node := &c.Nodes[id]
+	var c0, c1 int32
+	switch node.Type {
+	case netlist.Buf:
+		c0, c1 = m.CC0[node.Fanin[0]], m.CC1[node.Fanin[0]]
+	case netlist.Not:
+		c0, c1 = m.CC1[node.Fanin[0]], m.CC0[node.Fanin[0]]
+	case netlist.And, netlist.Nand:
+		// Output 1 needs all inputs 1; output 0 needs the cheapest 0.
+		all1, min0 := int32(0), Inf
+		for _, in := range node.Fanin {
+			all1 = satAdd(all1, m.CC1[in])
+			if m.CC0[in] < min0 {
+				min0 = m.CC0[in]
+			}
+		}
+		c0, c1 = satAdd(min0, 1), satAdd(all1, 1)
+		if node.Type == netlist.Nand {
+			c0, c1 = c1, c0
+		}
+	case netlist.Or, netlist.Nor:
+		all0, min1 := int32(0), Inf
+		for _, in := range node.Fanin {
+			all0 = satAdd(all0, m.CC0[in])
+			if m.CC1[in] < min1 {
+				min1 = m.CC1[in]
+			}
+		}
+		c0, c1 = satAdd(all0, 1), satAdd(min1, 1)
+		if node.Type == netlist.Nor {
+			c0, c1 = c1, c0
+		}
+	case netlist.Xor, netlist.Xnor:
+		// Fold pairwise: parity of input choices.
+		c0, c1 = m.CC0[node.Fanin[0]], m.CC1[node.Fanin[0]]
+		for _, in := range node.Fanin[1:] {
+			even := minInt32(satAdd(c0, m.CC0[in]), satAdd(c1, m.CC1[in]))
+			odd := minInt32(satAdd(c0, m.CC1[in]), satAdd(c1, m.CC0[in]))
+			c0, c1 = even, odd
+		}
+		c0, c1 = satAdd(c0, 1), satAdd(c1, 1)
+		if node.Type == netlist.Xnor {
+			c0, c1 = c1, c0
+		}
+	default:
+		return
+	}
+	m.CC0[id], m.CC1[id] = c0, c1
+}
+
+func (m *Measures) gateObservability(c *netlist.Circuit, id netlist.NodeID) {
+	node := &c.Nodes[id]
+	co := m.CO[id]
+	if co >= Inf {
+		return
+	}
+	for i, in := range node.Fanin {
+		var side int32
+		switch node.Type {
+		case netlist.Buf, netlist.Not:
+			side = 0
+		case netlist.And, netlist.Nand:
+			for j, other := range node.Fanin {
+				if j != i {
+					side = satAdd(side, m.CC1[other])
+				}
+			}
+		case netlist.Or, netlist.Nor:
+			for j, other := range node.Fanin {
+				if j != i {
+					side = satAdd(side, m.CC0[other])
+				}
+			}
+		case netlist.Xor, netlist.Xnor:
+			for j, other := range node.Fanin {
+				if j != i {
+					side = satAdd(side, minInt32(m.CC0[other], m.CC1[other]))
+				}
+			}
+		}
+		if v := satAdd(satAdd(co, side), 1); v < m.CO[in] {
+			m.CO[in] = v
+		}
+	}
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

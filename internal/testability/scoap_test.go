@@ -1,0 +1,62 @@
+package testability
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+)
+
+func TestScoapC17(t *testing.T) {
+	c := bench.NewC17()
+	m := Compute(c)
+	for _, pi := range c.PIs {
+		if m.CC0[pi] != 1 || m.CC1[pi] != 1 {
+			t.Errorf("PI %s controllability not 1", c.Node(pi).Name)
+		}
+	}
+	for _, po := range c.POs {
+		if m.CO[po] != 0 {
+			t.Errorf("PO %s observability not 0", c.Node(po).Name)
+		}
+	}
+	// N10 = NAND(N1, N3): setting it to 0 needs both inputs 1 (cost 3);
+	// setting it to 1 needs one input 0 (cost 2).
+	n10 := c.LookupID("N10")
+	if m.CC0[n10] != 3 || m.CC1[n10] != 2 {
+		t.Errorf("N10 CC = %d/%d, want 3/2", m.CC0[n10], m.CC1[n10])
+	}
+	// Deeper nodes are harder to observe than shallower ones on average.
+	n11 := c.LookupID("N11")
+	if m.CO[n11] >= Inf {
+		t.Error("N11 should be observable")
+	}
+}
+
+func TestScoapSequential(t *testing.T) {
+	c := bench.NewS27()
+	m := Compute(c)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if m.CC0[i] >= Inf || m.CC1[i] >= Inf {
+			t.Errorf("%s not controllable", n.Name)
+		}
+		if m.CO[i] >= Inf {
+			t.Errorf("%s not observable", n.Name)
+		}
+	}
+	// PPIs must be costlier to control than PIs.
+	pi, ff := c.PIs[0], c.DFFs[0]
+	if m.CC0[ff] <= m.CC0[pi] {
+		t.Errorf("PPI CC0 %d should exceed PI CC0 %d", m.CC0[ff], m.CC0[pi])
+	}
+}
+
+func TestScoapXor(t *testing.T) {
+	c := bench.RippleCarryAdder(2)
+	m := Compute(c)
+	for i := range c.Nodes {
+		if m.CC0[i] >= Inf || m.CC1[i] >= Inf {
+			t.Errorf("%s not controllable", c.Nodes[i].Name)
+		}
+	}
+}

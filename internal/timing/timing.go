@@ -1,0 +1,87 @@
+// Package timing computes signal arrival and stabilization times, the
+// analysis the paper's future-work section proposes: "the arrival and
+// stabilization times of all signals are calculated, allowing a more
+// precise indication of signal values at certain times. This will make
+// the task of propagation of the fault effect easier, thereby making
+// robustly untestable faults testable."
+//
+// Under a per-gate delay model, Earliest is the soonest a node can start
+// changing after the launch edge and Latest the time by which it is
+// guaranteed stable in the fault-free machine. The combined engine uses
+// the slack against the fast clock period to decide which transitioning
+// or hazardous PPO values may still be handed to the sequential engine as
+// known state: a signal whose stabilization slack exceeds the assumed
+// process-variation budget settles before the fast capture edge even in a
+// pessimistic part, so its final value is trustworthy.
+package timing
+
+import "fogbuster/internal/netlist"
+
+// Analysis holds per-node arrival windows in gate-delay units.
+type Analysis struct {
+	// Earliest is the shortest-path arrival time: before it the node
+	// still holds its initial-frame value.
+	Earliest []int32
+	// Latest is the longest-path stabilization time: after it the
+	// fault-free node holds its final value.
+	Latest []int32
+	// Period is the fast clock period implied by the critical path: the
+	// largest Latest over all POs and PPOs (the capture points).
+	Period int32
+}
+
+// UnitDelay assigns every gate one delay unit; buffers and inverters are
+// cheaper in most libraries, so they cost 0 here and the analysis follows
+// the usual technology-independent convention.
+func UnitDelay(t netlist.GateType) int32 {
+	switch t {
+	case netlist.Buf, netlist.Not:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Analyze computes the windows under the given delay model (nil means
+// UnitDelay).
+func Analyze(c *netlist.Circuit, delay func(netlist.GateType) int32) *Analysis {
+	if delay == nil {
+		delay = UnitDelay
+	}
+	a := &Analysis{
+		Earliest: make([]int32, len(c.Nodes)),
+		Latest:   make([]int32, len(c.Nodes)),
+	}
+	for _, id := range c.GateOrder() {
+		node := &c.Nodes[id]
+		d := delay(node.Type)
+		early, late := int32(1<<30), int32(0)
+		for _, in := range node.Fanin {
+			if a.Earliest[in] < early {
+				early = a.Earliest[in]
+			}
+			if a.Latest[in] > late {
+				late = a.Latest[in]
+			}
+		}
+		a.Earliest[id] = early + d
+		a.Latest[id] = late + d
+	}
+	for _, po := range c.POs {
+		if a.Latest[po] > a.Period {
+			a.Period = a.Latest[po]
+		}
+	}
+	for _, ppo := range c.PPOs() {
+		if a.Latest[ppo] > a.Period {
+			a.Period = a.Latest[ppo]
+		}
+	}
+	return a
+}
+
+// Slack returns how many delay units earlier than the fast capture edge
+// the node is guaranteed stable.
+func (a *Analysis) Slack(id netlist.NodeID) int32 {
+	return a.Period - a.Latest[id]
+}
