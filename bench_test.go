@@ -11,7 +11,9 @@
 package fogbuster
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"fogbuster/internal/bench"
@@ -68,6 +70,23 @@ func BenchmarkTable3(b *testing.B) {
 			}
 			b.ReportMetric(float64(tested), "tested")
 			b.ReportMetric(float64(p.Paper.Tested), "paper-tested")
+		})
+	}
+}
+
+// BenchmarkTable3Parallel contrasts the sharded ATPG pipeline against the
+// single-worker baseline on the Table 3 set: one full run per iteration
+// at each worker count. The per-fault results are bit-identical at every
+// count (see internal/core determinism tests); only wall-clock differs.
+func BenchmarkTable3Parallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, name := range table3Set {
+					c := bench.ProfileByName(name).Circuit()
+					core.New(c, core.Options{Workers: workers}).Run()
+				}
+			}
 		})
 	}
 }
@@ -145,6 +164,22 @@ func BenchmarkFOGBUSTER(b *testing.B) {
 				core.New(c, core.Options{DisableFaultSim: true}).Run()
 			}
 		})
+	}
+}
+
+// BenchmarkFOGBUSTERParallel is the sharded variant of BenchmarkFOGBUSTER:
+// the generation path (fault simulation credit off) at one worker versus
+// all CPUs.
+func BenchmarkFOGBUSTERParallel(b *testing.B) {
+	for _, name := range []string{"s27", "s298", "s838"} {
+		c := bench.ProfileByName(name).Circuit()
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers-%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core.New(c, core.Options{DisableFaultSim: true, Workers: workers}).Run()
+				}
+			})
+		}
 	}
 }
 

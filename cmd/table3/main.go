@@ -23,6 +23,7 @@ func main() {
 	strict := flag.Bool("strict", false, "demand true synchronizing sequences (no assumed power-up state)")
 	only := flag.String("circuit", "", "run a single circuit by name (e.g. s27)")
 	noSim := flag.Bool("nofaultsim", false, "disable fault simulation credit")
+	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
 	flag.Parse()
 
 	alg := logic.Robust
@@ -51,6 +52,7 @@ func main() {
 			Algebra:         alg,
 			StrictInit:      *strict,
 			DisableFaultSim: *noSim,
+			Workers:         *workers,
 		}).Run()
 		note := ""
 		if !p.Exact {

@@ -24,6 +24,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print the per-fault classification")
 	csvOut := flag.String("csv", "", "write the per-fault results and sequences to a CSV file")
 	varBudget := flag.Int("variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
+	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -52,6 +53,7 @@ func main() {
 		SeqBacktracks:   *seqBT,
 		StrictInit:      *strict,
 		VariationBudget: *varBudget,
+		Workers:         *workers,
 	}).Run()
 
 	if *csvOut != "" {

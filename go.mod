@@ -1,0 +1,3 @@
+module fogbuster
+
+go 1.24

@@ -14,16 +14,15 @@
 package core
 
 import (
-	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fogbuster/internal/faults"
-	"fogbuster/internal/fausim"
 	"fogbuster/internal/logic"
 	"fogbuster/internal/netlist"
-	"fogbuster/internal/semilet"
 	"fogbuster/internal/sim"
-	"fogbuster/internal/tdsim"
 	"fogbuster/internal/testability"
 	"fogbuster/internal/timing"
 )
@@ -104,8 +103,26 @@ type Options struct {
 	// almost v units slower than nominal. Small v approaches the
 	// non-robust handoff.
 	VariationBudget int
-	// Seed drives the random X-fill; the default 0 is a fixed seed.
+	// Seed drives the random X-fill; the default 0 is a fixed seed. The
+	// X-fill stream is derived per fault from Seed and the fault index,
+	// so a given Seed produces the same Summary at every worker count.
 	Seed int64
+	// Workers is the number of ATPG workers sharding the fault universe.
+	// 0 (the default) uses runtime.NumCPU(); a negative value forces a
+	// single worker. Results are bit-identical for every worker count.
+	Workers int
+}
+
+// workerCount resolves the Workers option.
+func (o Options) workerCount() int {
+	switch {
+	case o.Workers > 0:
+		return o.Workers
+	case o.Workers < 0:
+		return 1
+	default:
+		return runtime.NumCPU()
+	}
 }
 
 // TestSequence is one complete delay fault test in the paper's time-frame
@@ -160,22 +177,19 @@ type Summary struct {
 	ValidationFailures int
 }
 
-// Engine runs the combined flow over a circuit.
+// Engine runs the combined flow over a circuit. The per-fault search
+// state (circuit view, sequential engine, simulators, X-fill stream)
+// lives on workers cloned from the engine, so Run can shard the fault
+// universe across any number of goroutines without sharing mutable
+// state; the Engine itself holds only read-only inputs.
 type Engine struct {
 	c    *netlist.Circuit
-	net  *sim.Net
 	opts Options
 	alg  *logic.Algebra
 	meas *testability.Measures
-	sem  *semilet.Engine
-	td   *tdsim.Sim
-	fs   *fausim.Sim
-	rng  *rand.Rand
-	tim  *timing.Analysis // nil unless VariationBudget >= 0
+	tim  *timing.Analysis // nil unless VariationBudget > 0
 
-	status  []Status
-	index   map[faults.Delay]int
-	valFail int
+	index map[faults.Delay]int
 }
 
 // New prepares an engine for the circuit.
@@ -189,18 +203,11 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 	if opts.SeqBacktracks == 0 {
 		opts.SeqBacktracks = 100
 	}
-	net := sim.NewNet(c)
-	meas := testability.Compute(c)
 	e := &Engine{
 		c:    c,
-		net:  net,
 		opts: opts,
 		alg:  opts.Algebra,
-		meas: meas,
-		sem:  semilet.NewEngine(net, semilet.Options{MaxFrames: opts.MaxFrames, Meas: meas}),
-		td:   tdsim.New(net, opts.Algebra),
-		fs:   fausim.New(net),
-		rng:  rand.New(rand.NewSource(opts.Seed + 1)),
+		meas: testability.Compute(c),
 	}
 	if opts.VariationBudget > 0 {
 		e.tim = timing.Analyze(c, nil)
@@ -208,41 +215,67 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 	return e
 }
 
-// Run processes the complete delay fault universe in line order and
-// returns the summary.
+// faultOutcome is one worker's result for one claimed fault index. An
+// outcome with status Pending marks a fault the worker skipped because
+// the merge loop had already credited it.
+type faultOutcome struct {
+	idx      int
+	status   Status
+	seq      *TestSequence
+	detected []faults.Delay // faults the sequence additionally detects
+	valFail  int
+}
+
+// Run processes the complete delay fault universe and returns the
+// summary. The universe is sharded over Options.Workers goroutines; each
+// worker owns a full clone of the mutable ATPG state and an X-fill RNG
+// reseeded per fault from Options.Seed and the fault index, and the
+// merge loop commits outcomes strictly in fault order, reconciling the
+// post-generation simulation credit exactly as the serial flow would.
+// The summary is therefore bit-identical for every worker count.
 func (e *Engine) Run() *Summary {
 	start := time.Now()
 	all := faults.AllDelay(e.c)
-	e.status = make([]Status, len(all))
-	e.index = make(map[faults.Delay]int, len(all))
+	n := len(all)
+	e.index = make(map[faults.Delay]int, n)
 	for i, f := range all {
 		e.index[f] = i
 	}
 
 	sum := &Summary{Circuit: e.c.Name, Algebra: e.alg.Name()}
-	sum.Results = make([]FaultResult, len(all))
+	sum.Results = make([]FaultResult, n)
 	for i, f := range all {
 		sum.Results[i].Fault = f
 	}
 
-	for i, f := range all {
-		if e.status[i] != Pending {
-			continue
+	// status is written only by the merge loop; workers read it to skip
+	// faults that are already classified (a racy read can only cause a
+	// harmless speculative generation, never a wrong result, because the
+	// merge loop re-checks before committing).
+	status := make([]atomic.Uint32, n)
+	if n > 0 {
+		workers := e.opts.workerCount()
+		if workers > n {
+			workers = n
 		}
-		seq, st := e.generate(f)
-		e.status[i] = st
-		if st == Tested {
-			sum.Results[i].Seq = seq
-			sum.Patterns += seq.Len()
-			if !e.opts.DisableFaultSim {
-				e.credit(seq)
-			}
+		var next atomic.Int64
+		results := make(chan faultOutcome, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e.newWorker().run(all, status, &next, results)
+			}()
 		}
+		e.merge(sum, status, results, n)
+		wg.Wait()
 	}
 
 	for i := range all {
-		sum.Results[i].Status = e.status[i]
-		switch e.status[i] {
+		st := Status(status[i].Load())
+		sum.Results[i].Status = st
+		switch st {
 		case Tested:
 			sum.Tested++
 			sum.Explicit++
@@ -254,7 +287,41 @@ func (e *Engine) Run() *Summary {
 			sum.Aborted++
 		}
 	}
-	sum.ValidationFailures = e.valFail
 	sum.Runtime = time.Since(start)
 	return sum
+}
+
+// merge commits worker outcomes strictly in fault order. Out-of-order
+// arrivals wait in a reorder buffer; a committed Tested outcome applies
+// its simulation credit to every still-pending fault, and an outcome for
+// a fault that an earlier commit credited is discarded, exactly
+// reproducing the serial processing order.
+func (e *Engine) merge(sum *Summary, status []atomic.Uint32, results <-chan faultOutcome, n int) {
+	reorder := make(map[int]faultOutcome)
+	cursor := 0
+	for cursor < n {
+		o := <-results
+		reorder[o.idx] = o
+		for {
+			cur, ok := reorder[cursor]
+			if !ok {
+				break
+			}
+			delete(reorder, cursor)
+			if Status(status[cursor].Load()) == Pending {
+				status[cursor].Store(uint32(cur.status))
+				sum.ValidationFailures += cur.valFail
+				if cur.status == Tested {
+					sum.Results[cursor].Seq = cur.seq
+					sum.Patterns += cur.seq.Len()
+					for _, f := range cur.detected {
+						if j, ok := e.index[f]; ok && Status(status[j].Load()) == Pending {
+							status[j].Store(uint32(TestedBySim))
+						}
+					}
+				}
+			}
+			cursor++
+		}
+	}
 }

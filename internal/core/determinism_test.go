@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"fogbuster/internal/bench"
+)
+
+// summarize flattens the determinism-relevant part of a Summary: the
+// per-fault status and per-fault pattern cost (the sequence length for
+// explicit tests, 0 otherwise), plus the aggregate counters.
+func summarize(s *Summary) string {
+	out := fmt.Sprintf("tested=%d explicit=%d untestable=%d aborted=%d patterns=%d valfail=%d\n",
+		s.Tested, s.Explicit, s.Untestable, s.Aborted, s.Patterns, s.ValidationFailures)
+	for _, r := range s.Results {
+		n := 0
+		if r.Seq != nil {
+			n = r.Seq.Len()
+		}
+		out += fmt.Sprintf("%v %s %d\n", r.Fault, r.Status, n)
+	}
+	return out
+}
+
+// TestSeedDeterminism pins the reproducibility contract: the same
+// Options.Seed yields an identical Summary across two independent runs.
+func TestSeedDeterminism(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		a := New(c, Options{Seed: 42}).Run()
+		b := New(c, Options{Seed: 42}).Run()
+		if sa, sb := summarize(a), summarize(b); sa != sb {
+			t.Errorf("%s: two runs with the same seed disagree:\n--- run 1\n%s--- run 2\n%s", name, sa, sb)
+		}
+	}
+}
+
+// TestWorkerCountInvariance pins the sharding contract: per-fault
+// statuses and pattern counts are bit-identical regardless of the worker
+// count, because every fault's X-fill stream is derived from the seed and
+// the fault index and the merge loop commits in fault order.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		base := summarize(New(c, Options{Workers: 1}).Run())
+		for _, workers := range []int{2, 7, 64} {
+			got := summarize(New(c, Options{Workers: workers}).Run())
+			if got != base {
+				t.Errorf("%s: Workers=%d diverged from Workers=1:\n--- serial\n%s--- workers=%d\n%s",
+					name, workers, base, workers, got)
+			}
+		}
+	}
+}

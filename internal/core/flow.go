@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math/rand"
+	"sync/atomic"
+
 	"fogbuster/internal/faults"
 	"fogbuster/internal/fausim"
 	"fogbuster/internal/logic"
@@ -10,25 +13,98 @@ import (
 	"fogbuster/internal/tdsim"
 )
 
+// worker owns one full clone of the mutable per-fault ATPG state: its own
+// circuit view (the simulators keep scratch buffers on it), sequential
+// engine, fault simulators and X-fill RNG. Workers share only read-only
+// inputs (circuit, testability measures, timing analysis, options).
+type worker struct {
+	e   *Engine
+	net *sim.Net
+	sem *semilet.Engine
+	td  *tdsim.Sim
+	rng *rand.Rand
+}
+
+// newWorker clones the engine state for one worker goroutine.
+func (e *Engine) newWorker() *worker {
+	net := sim.NewNet(e.c)
+	return &worker{
+		e:   e,
+		net: net,
+		sem: semilet.NewEngine(net, semilet.Options{MaxFrames: e.opts.MaxFrames, Meas: e.meas}),
+		td:  tdsim.New(net, e.alg),
+	}
+}
+
+// faultSeed derives the per-fault X-fill seed from the run seed and the
+// fault index (splitmix64 finalizer). Reseeding per fault is what makes
+// the fill stream — and with it the whole Summary — independent of the
+// order in which workers claim faults.
+func faultSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*(uint64(i)+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// run claims fault indices from the shared counter until the universe is
+// exhausted, sending exactly one outcome per claimed index. A fault the
+// merge loop has already credited is skipped with an empty outcome; the
+// check is advisory (a stale read costs a wasted generation that the
+// merge loop discards), so no lock is ever held.
+func (w *worker) run(all []faults.Delay, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(all) {
+			return
+		}
+		if Status(status[i].Load()) != Pending {
+			results <- faultOutcome{idx: i}
+			continue
+		}
+		w.rng = rand.New(rand.NewSource(faultSeed(w.e.opts.Seed, i)))
+		o := faultOutcome{idx: i}
+		o.seq, o.status, o.valFail = w.generate(all[i])
+		if o.status == Tested && !w.e.opts.DisableFaultSim {
+			// Post-generation fault simulation runs here, on the worker,
+			// so the expensive CPT and confirmation work parallelizes;
+			// only the status bookkeeping happens on the merge loop. The
+			// skip filter reads racy status snapshots purely to save
+			// work: the merge loop re-checks every detected fault.
+			ff := w.fastFrame(o.seq)
+			o.detected = w.td.Detect(ff, func(f faults.Delay) bool {
+				j, ok := w.e.index[f]
+				return !ok || Status(status[j].Load()) != Pending
+			})
+		}
+		results <- o
+	}
+}
+
 // generate runs the extended FOGBUSTER flow (Figure 4) for one fault:
 // local test generation, then — if the effect only reached the state
 // register — forward propagation to a PO, then synchronization of the
 // required initial state. A failure in a sequential phase backtracks into
-// the local generator for the next distinct local test.
-func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
-	gen := tdgen.New(e.net, f, e.meas, tdgen.Options{
-		Algebra:       e.alg,
-		MaxBacktracks: e.opts.LocalBacktracks,
+// the local generator for the next distinct local test. It also returns
+// how many candidate sequences the independent validator rejected.
+func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
+	gen := tdgen.New(w.net, f, w.e.meas, tdgen.Options{
+		Algebra:       w.e.alg,
+		MaxBacktracks: w.e.opts.LocalBacktracks,
 	})
-	budget := semilet.NewBudget(e.opts.SeqBacktracks)
+	budget := semilet.NewBudget(w.e.opts.SeqBacktracks)
+	valFail := 0
 
 	for {
 		sol, st := gen.Next()
 		switch st {
 		case tdgen.Untestable:
-			return nil, Untestable
+			return nil, Untestable, valFail
 		case tdgen.Aborted:
-			return nil, Aborted
+			return nil, Aborted, valFail
 		}
 
 		seq := &TestSequence{
@@ -42,9 +118,9 @@ func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
 		// Forward propagation phase: only needed when the local test
 		// observes the effect at a PPO.
 		if sol.ObservePO < 0 {
-			prop, pst := e.sem.Propagate(e.handoff(sol), budget)
+			prop, pst := w.sem.Propagate(w.handoff(sol), budget)
 			if pst == semilet.Aborted {
-				return nil, Aborted
+				return nil, Aborted, valFail
 			}
 			if pst != semilet.Success {
 				continue // backtrack into the local generator
@@ -55,9 +131,9 @@ func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
 
 		// Initialization phase: a synchronizing sequence to the required
 		// state of the local test.
-		sync, sst := e.sem.SynchronizeWith(sol.State0, budget, !e.opts.StrictInit)
+		sync, sst := w.sem.SynchronizeWith(sol.State0, budget, !w.e.opts.StrictInit)
 		if sst == semilet.Aborted {
-			return nil, Aborted
+			return nil, Aborted, valFail
 		}
 		if sst != semilet.Success {
 			continue
@@ -65,11 +141,11 @@ func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
 		seq.Sync = sync.Vectors
 		seq.Assumed = sync.Assumed
 
-		if !e.opts.DisableValidation && !e.validate(seq) {
-			e.valFail++
+		if !w.e.opts.DisableValidation && !w.validate(seq) {
+			valFail++
 			continue
 		}
-		return seq, Tested
+		return seq, Tested, valFail
 	}
 }
 
@@ -79,12 +155,12 @@ func (e *Engine) generate(f faults.Delay) (*TestSequence, Status) {
 // they are fault-free, settle to a uniform value, and stabilize with at
 // least VariationBudget delay units of slack before the fast capture
 // edge.
-func (e *Engine) handoff(sol *tdgen.Solution) []sim.V5 {
-	if e.tim == nil {
+func (w *worker) handoff(sol *tdgen.Solution) []sim.V5 {
+	if w.e.tim == nil {
 		return sol.PPOFinal
 	}
 	lifted := append([]sim.V5(nil), sol.PPOFinal...)
-	for i, ppo := range e.c.PPOs() {
+	for i, ppo := range w.e.c.PPOs() {
 		if lifted[i] != sim.X5 {
 			continue
 		}
@@ -92,7 +168,7 @@ func (e *Engine) handoff(sol *tdgen.Solution) []sim.V5 {
 		if set.Empty() || set&logic.CarrySet != 0 {
 			continue
 		}
-		if e.tim.Slack(ppo) < int32(e.opts.VariationBudget) {
+		if w.e.tim.Slack(ppo) < int32(w.e.opts.VariationBudget) {
 			continue
 		}
 		var fin [2]bool
@@ -113,39 +189,39 @@ func (e *Engine) handoff(sol *tdgen.Solution) []sim.V5 {
 // two-frame situation of the fast clock cycle, simulating the good
 // machine from a random power-up state through the initialization and the
 // initial time frame (the paper's fault simulation phase 1).
-func (e *Engine) fastFrame(seq *TestSequence) *tdsim.FastFrame {
-	state := make([]sim.V3, len(e.c.DFFs))
+func (w *worker) fastFrame(seq *TestSequence) *tdsim.FastFrame {
+	state := make([]sim.V3, len(w.e.c.DFFs))
 	for i := range state {
 		if seq.Assumed != nil && seq.Assumed[i].Known() {
 			state[i] = seq.Assumed[i]
 		} else {
-			state[i] = sim.V3(e.rng.Intn(2))
+			state[i] = sim.V3(w.rng.Intn(2))
 		}
 	}
-	syncV := fausim.FillSequence(seq.Sync, e.rng)
+	syncV := fausim.FillSequence(seq.Sync, w.rng)
 	if len(syncV) > 0 {
-		steps := e.net.SeqSim3(state, syncV)
+		steps := w.net.SeqSim3(state, syncV)
 		state = steps[len(steps)-1].State
 	}
 	for i := range state {
 		if state[i] == sim.X {
-			state[i] = sim.V3(e.rng.Intn(2))
+			state[i] = sim.V3(w.rng.Intn(2))
 		}
 	}
-	v1 := sim.XFill(seq.V1, e.rng)
-	v2 := sim.XFill(seq.V2, e.rng)
-	f1 := e.net.LoadFrame(v1, state)
-	e.net.Eval3(f1, nil)
-	s1 := e.net.NextState3(f1, nil)
+	v1 := sim.XFill(seq.V1, w.rng)
+	v2 := sim.XFill(seq.V2, w.rng)
+	f1 := w.net.LoadFrame(v1, state)
+	w.net.Eval3(f1, nil)
+	s1 := w.net.NextState3(f1, nil)
 	for i := range s1 {
 		if s1[i] == sim.X {
-			s1[i] = sim.V3(e.rng.Intn(2))
+			s1[i] = sim.V3(w.rng.Intn(2))
 		}
 	}
 	return &tdsim.FastFrame{
 		V1: v1, V2: v2,
 		S0: state, S1: s1,
-		Prop: fausim.FillSequence(seq.Prop, e.rng),
+		Prop: fausim.FillSequence(seq.Prop, w.rng),
 	}
 }
 
@@ -155,28 +231,12 @@ func (e *Engine) fastFrame(seq *TestSequence) *tdsim.FastFrame {
 // propagation frames. The checker shares no code with the generator's
 // search (it uses the concrete simulators), so it is an independent
 // witness.
-func (e *Engine) validate(seq *TestSequence) bool {
-	ff := e.fastFrame(seq)
-	goodS2 := make([]sim.V3, len(e.c.DFFs))
-	vals := e.td.Values(ff)
-	for i, ppo := range e.c.PPOs() {
+func (w *worker) validate(seq *TestSequence) bool {
+	ff := w.fastFrame(seq)
+	goodS2 := make([]sim.V3, len(w.e.c.DFFs))
+	vals := w.td.Values(ff)
+	for i, ppo := range w.e.c.PPOs() {
 		goodS2[i] = sim.V3(vals[ppo].Final())
 	}
-	return e.td.Confirm(ff, vals, goodS2, seq.Fault)
-}
-
-// credit fault-simulates a fresh concrete instance of the sequence and
-// marks every additionally detected, still-pending fault, the paper's
-// post-generation fault simulation.
-func (e *Engine) credit(seq *TestSequence) {
-	ff := e.fastFrame(seq)
-	detected := e.td.Detect(ff, func(f faults.Delay) bool {
-		i, ok := e.index[f]
-		return !ok || e.status[i] != Pending
-	})
-	for _, f := range detected {
-		if i, ok := e.index[f]; ok && e.status[i] == Pending {
-			e.status[i] = TestedBySim
-		}
-	}
+	return w.td.Confirm(ff, vals, goodS2, seq.Fault)
 }

@@ -4,6 +4,12 @@
 // of the propagation phase, where a fault effect captured at a PPO at the
 // end of the fast frame is treated as a state difference that must reach a
 // primary output under slow, fault-free clocking.
+//
+// The bulk entry points (ObservablePPOs, StuckCoverage) run on the 64-way
+// dual-rail simulator: 64 faulty machines share one pass over the frame
+// loop, one bit per machine, with exact three-valued semantics. Per-Sim
+// scratch buffers make the passes allocation-free, so a Sim must not be
+// shared between goroutines; build one per worker.
 package fausim
 
 import (
@@ -16,6 +22,13 @@ import (
 // Sim wraps a circuit view for sequence-level simulation.
 type Sim struct {
 	net *sim.Net
+
+	// Reusable 64-way scratch (lazily built): one dual-rail frame, one
+	// injector, and the dual-rail state rails carried between frames.
+	frame64            *sim.Frame64
+	inj64              *sim.Inject64
+	stateV, stateK     []sim.Word
+	scratchV, scratchK []sim.Word
 }
 
 // New builds a simulator for the circuit.
@@ -23,6 +36,20 @@ func New(net *sim.Net) *Sim { return &Sim{net: net} }
 
 // Net returns the underlying circuit view.
 func (s *Sim) Net() *sim.Net { return s.net }
+
+// scratch64 returns the lazily-built 64-way buffers.
+func (s *Sim) scratch64() (*sim.Frame64, *sim.Inject64) {
+	if s.frame64 == nil {
+		s.frame64 = s.net.NewFrame64()
+		s.inj64 = s.net.NewInject64()
+		n := len(s.net.C.DFFs)
+		s.stateV = make([]sim.Word, n)
+		s.stateK = make([]sim.Word, n)
+		s.scratchV = make([]sim.Word, n)
+		s.scratchK = make([]sim.Word, n)
+	}
+	return s.frame64, s.inj64
+}
 
 // FillSequence replaces every X in every vector with a pseudo-random bit,
 // the paper's phase-1 treatment of don't-cares left by test generation.
@@ -44,7 +71,8 @@ func (s *Sim) GoodReplay(initState []sim.V3, vectors [][]sim.V3) []sim.Step {
 // starting states) over the vectors and returns the first frame and PO
 // index where they provably differ, or (-1, -1). The machine logic is
 // fault free in both runs: under the slow clock the delay fault cannot
-// occur, exactly the paper's propagation-phase model.
+// occur, exactly the paper's propagation-phase model. The scan returns on
+// the first provable difference; later POs and frames are never evaluated.
 func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int, int) {
 	g, f := goodState, faultyState
 	for frame, vec := range vectors {
@@ -71,52 +99,166 @@ func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int
 // output. The fault effect exists only at the observation point in the
 // fast frame — later frames are fault free — which is exactly how FAUSIM
 // treats it.
+//
+// All candidate flips are simulated together, 63 faulty machines plus the
+// good machine per 64-bit word, so the whole analysis costs a single
+// replay of the propagation frames per batch instead of one per flip-flop.
 func (s *Sim) ObservablePPOs(goodState []sim.V3, nonSteady []bool, vectors [][]sim.V3) []bool {
 	obs := make([]bool, len(goodState))
+	var cand []int
 	for i, ns := range nonSteady {
-		if !ns || !goodState[i].Known() {
-			continue
-		}
-		faulty := append([]sim.V3(nil), goodState...)
-		faulty[i] = sim.Not3(faulty[i])
-		if frame, po := s.PairDiff(goodState, faulty, vectors); frame >= 0 && po >= 0 {
-			obs[i] = true
+		if ns && goodState[i].Known() {
+			cand = append(cand, i)
 		}
 	}
+	const goodBit = 63 // machine 63 is the fault-free reference
+	for len(cand) > 0 {
+		batch := cand
+		if len(batch) > goodBit {
+			batch = batch[:goodBit]
+		}
+		cand = cand[len(batch):]
+		s.observeBatch(goodState, batch, vectors, obs)
+	}
 	return obs
+}
+
+// observeBatch replays the propagation frames once for up to 63 state
+// flips: machine b starts from goodState with batch[b] flipped, machine 63
+// is the unmodified good machine. A machine whose PO word provably differs
+// from the good machine's is observable; the frame loop stops as soon as
+// every machine in the batch is resolved or the vectors run out.
+func (s *Sim) observeBatch(goodState []sim.V3, batch []int, vectors [][]sim.V3, obs []bool) {
+	const goodBit = 63
+	frame, _ := s.scratch64()
+	stateV, stateK := s.stateV, s.stateK
+	for i, v := range goodState {
+		stateV[i], stateK[i] = sim.Broadcast64(v)
+	}
+	for b, ffIdx := range batch {
+		stateV[ffIdx] ^= sim.Word(1) << uint(b)
+	}
+	live := sim.Word(0)
+	for b := range batch {
+		live |= sim.Word(1) << uint(b)
+	}
+	for _, vec := range vectors {
+		s.net.LoadFrame64DR(frame, vec, nil)
+		for i, ff := range s.net.C.DFFs {
+			frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
+		}
+		s.net.Eval64DR(frame, nil)
+		for _, po := range s.net.C.POs {
+			v, k := frame.V[po], frame.K[po]
+			if k&(1<<goodBit) == 0 {
+				continue // good machine value unknown: no provable diff
+			}
+			good := sim.Word(0)
+			if v&(1<<goodBit) != 0 {
+				good = sim.AllOnes
+			}
+			diff := (v ^ good) & k & live
+			if diff == 0 {
+				continue
+			}
+			for b := range batch {
+				if diff&(1<<uint(b)) != 0 {
+					obs[batch[b]] = true
+				}
+			}
+			live &^= diff
+			if live == 0 {
+				return
+			}
+		}
+		s.net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		stateV, stateK = s.scratchV, s.scratchK
+		s.scratchV, s.scratchK = s.stateV, s.stateK
+		s.stateV, s.stateK = stateV, stateK
+	}
+}
+
+// stuck64 is one packed stuck-at fault instance.
+type stuck64 struct {
+	line netlist.Line
+	val  sim.V3
 }
 
 // StuckCoverage fault-simulates a sequence against a set of stuck-at
 // faults by pair simulation from power-up, returning which are detected.
 // It is used by the standalone static-fault flow and the examples.
+//
+// The faults run 64 machines per word through the dual-rail simulator: one
+// good-machine replay is shared by all batches, each faulty machine drops
+// out of its batch on the first provable PO difference, and a batch whose
+// machines are all detected stops before the frame loop ends.
 func (s *Sim) StuckCoverage(vectors [][]sim.V3, lines []netlist.Line) map[netlist.Line][2]bool {
 	out := make(map[netlist.Line][2]bool, len(lines))
+	goods := s.net.SeqSim3(nil, vectors)
+
+	all := make([]stuck64, 0, 2*len(lines))
 	for _, l := range lines {
-		var det [2]bool
-		for v := 0; v < 2; v++ {
-			inj := &sim.Inject3{Line: l, Value: sim.V3(v)}
-			var g, f []sim.V3
-			detected := false
-			for _, vec := range vectors {
-				gv := s.net.LoadFrame(vec, g)
-				s.net.Eval3(gv, nil)
-				fv := s.net.LoadFrame(vec, f)
-				s.net.Eval3(fv, inj)
-				for _, po := range s.net.C.POs {
-					a, b := gv[po], fv[po]
-					if a.Known() && b.Known() && a != b {
-						detected = true
-					}
-				}
-				if detected {
-					break
-				}
-				g = s.net.NextState3(gv, nil)
-				f = s.net.NextState3(fv, inj)
-			}
-			det[v] = detected
+		all = append(all, stuck64{l, sim.Lo}, stuck64{l, sim.Hi})
+	}
+	for len(all) > 0 {
+		batch := all
+		if len(batch) > 64 {
+			batch = batch[:64]
 		}
-		out[l] = det
+		all = all[len(batch):]
+		detected := s.stuckBatch(vectors, goods, batch)
+		for b, f := range batch {
+			det := out[f.line]
+			if detected&(1<<uint(b)) != 0 {
+				det[f.val] = true
+			}
+			out[f.line] = det
+		}
 	}
 	return out
+}
+
+// stuckBatch pair-simulates up to 64 stuck-at machines against the
+// precomputed good replay and returns the detected machine mask.
+func (s *Sim) stuckBatch(vectors [][]sim.V3, goods []sim.Step, batch []stuck64) sim.Word {
+	frame, inj := s.scratch64()
+	inj.Reset()
+	live := sim.Word(0)
+	for b, f := range batch {
+		inj.Add(uint(b), f.line, f.val)
+		live |= sim.Word(1) << uint(b)
+	}
+	stateV, stateK := s.stateV, s.stateK
+	for i := range stateV {
+		stateV[i], stateK[i] = 0, 0 // power-up: all X
+	}
+	detected := sim.Word(0)
+	for fi, vec := range vectors {
+		s.net.LoadFrame64DR(frame, vec, nil)
+		for i, ff := range s.net.C.DFFs {
+			frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
+		}
+		s.net.Eval64DR(frame, inj)
+		for p, po := range s.net.C.POs {
+			good := goods[fi].Outputs[p]
+			if !good.Known() {
+				continue
+			}
+			gw, _ := sim.Broadcast64(good)
+			diff := (frame.V[po] ^ gw) & frame.K[po] & live
+			if diff == 0 {
+				continue
+			}
+			detected |= diff
+			live &^= diff
+			if live == 0 {
+				return detected
+			}
+		}
+		s.net.NextState64DR(frame, inj, s.scratchV, s.scratchK)
+		stateV, stateK = s.scratchV, s.scratchK
+		s.scratchV, s.scratchK = s.stateV, s.stateK
+		s.stateV, s.stateK = stateV, stateK
+	}
+	return detected
 }

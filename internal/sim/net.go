@@ -11,22 +11,52 @@ import "fogbuster/internal/netlist"
 // Net is a precomputed simulation view of a circuit. It adds, for every
 // gate input position, the index of the corresponding fanout branch of the
 // driving node, so faults can be injected on individual branches.
+//
+// A Net carries reusable scratch buffers for the 64-way evaluators, so a
+// single Net must not be used from multiple goroutines concurrently;
+// build one Net per worker instead (construction is linear in the
+// circuit size).
 type Net struct {
 	C *netlist.Circuit
 
 	// faninBranch[n][i] is the branch index b such that
 	// C.Node(fanin).Fanout[b] is exactly this connection.
 	faninBranch [][]int32
+
+	// edgeOff[n] is the index of node n's first fanin connection in a
+	// flat edge numbering (edge = edgeOff[n] + input position); numEdges
+	// is the total connection count. The 64-way injectors use it to
+	// address branch faults without per-gate map lookups.
+	edgeOff  []int32
+	numEdges int
+
+	// maxFanin sizes the per-Net evaluation scratch.
+	maxFanin int
+
+	// ins64 is the reusable fanin scratch for Eval64/Eval64DR, sized once
+	// from the circuit's maximum fanin instead of being re-derived (and
+	// potentially re-allocated) per gate per call.
+	ins64 []Word
 }
 
 // NewNet builds the simulation view. The construction mirrors the fanout
 // ordering of netlist: fanout entries are appended iterating nodes in ID
 // order and fanins in position order.
 func NewNet(c *netlist.Circuit) *Net {
-	n := &Net{C: c, faninBranch: make([][]int32, len(c.Nodes))}
+	n := &Net{
+		C:           c,
+		faninBranch: make([][]int32, len(c.Nodes)),
+		edgeOff:     make([]int32, len(c.Nodes)),
+	}
 	counter := make([]int32, len(c.Nodes))
+	edges := 0
 	for i := range c.Nodes {
 		node := &c.Nodes[i]
+		n.edgeOff[i] = int32(edges)
+		edges += len(node.Fanin)
+		if len(node.Fanin) > n.maxFanin {
+			n.maxFanin = len(node.Fanin)
+		}
 		if len(node.Fanin) == 0 {
 			continue
 		}
@@ -37,8 +67,19 @@ func NewNet(c *netlist.Circuit) *Net {
 		}
 		n.faninBranch[i] = br
 	}
+	n.numEdges = edges
+	n.ins64 = make([]Word, 2*n.maxFanin)
 	return n
 }
+
+// EdgeOf returns the flat edge index of the connection feeding input
+// position pos of node id.
+func (n *Net) EdgeOf(id netlist.NodeID, pos int) int {
+	return int(n.edgeOff[id]) + pos
+}
+
+// NumEdges returns the total fanin connection count of the circuit.
+func (n *Net) NumEdges() int { return n.numEdges }
 
 // BranchOf returns the fanout branch index of the connection feeding input
 // position pos of node id.

@@ -60,8 +60,15 @@ func (n *Net) Eval8(alg *logic.Algebra, vals []logic.Value, inj *InjectDelay) {
 // NextState8 extracts the PPO two-frame values after Eval8, respecting an
 // injection on a DFF-feeding branch.
 func (n *Net) NextState8(vals []logic.Value, inj *InjectDelay) []logic.Value {
+	next := make([]logic.Value, len(n.C.DFFs))
+	n.NextState8Into(next, vals, inj)
+	return next
+}
+
+// NextState8Into is NextState8 writing into a caller-owned buffer of
+// len(DFFs), for allocation-free inner loops.
+func (n *Net) NextState8Into(next []logic.Value, vals []logic.Value, inj *InjectDelay) {
 	c := n.C
-	next := make([]logic.Value, len(c.DFFs))
 	for i, ff := range c.DFFs {
 		d := c.Nodes[ff].Fanin[0]
 		v := vals[d]
@@ -70,7 +77,6 @@ func (n *Net) NextState8(vals []logic.Value, inj *InjectDelay) []logic.Value {
 		}
 		next[i] = v
 	}
-	return next
 }
 
 // LoadFrame8 builds the two-frame value array from two binary PI vectors
@@ -79,8 +85,16 @@ func (n *Net) NextState8(vals []logic.Value, inj *InjectDelay) []logic.Value {
 // into the flip-flops at the frame boundary). All inputs must be fully
 // specified: the paper performs random X-fill before fault simulation.
 func (n *Net) LoadFrame8(v1, v2, s0, s1 []V3) []logic.Value {
+	vals := make([]logic.Value, len(n.C.Nodes))
+	n.LoadFrame8Into(vals, v1, v2, s0, s1)
+	return vals
+}
+
+// LoadFrame8Into is LoadFrame8 writing into a caller-owned buffer of
+// len(Nodes), for allocation-free inner loops. Gate entries need no
+// clearing: Eval8 overwrites every one of them.
+func (n *Net) LoadFrame8Into(vals []logic.Value, v1, v2, s0, s1 []V3) {
 	c := n.C
-	vals := make([]logic.Value, len(c.Nodes))
 	toVal := func(a, b V3) logic.Value {
 		return logic.FromEndpoints(uint8(a), uint8(b), false)
 	}
@@ -90,5 +104,4 @@ func (n *Net) LoadFrame8(v1, v2, s0, s1 []V3) []logic.Value {
 	for i, ff := range c.DFFs {
 		vals[ff] = toVal(s0[i], s1[i])
 	}
-	return vals
 }

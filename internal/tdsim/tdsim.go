@@ -22,16 +22,32 @@ import (
 	"fogbuster/internal/sim"
 )
 
-// Sim performs fast-frame delay fault simulation for one algebra.
+// Sim performs fast-frame delay fault simulation for one algebra. The
+// per-candidate confirmation path reuses scratch buffers held on the Sim,
+// so one Sim must not be shared between goroutines; the core engine
+// builds one per worker.
 type Sim struct {
 	net *sim.Net
 	alg *logic.Algebra
 	fs  *fausim.Sim
+
+	// Scratch reused across Confirm calls (one Eval8 pass per candidate
+	// fault runs on these instead of fresh allocations).
+	vals8    []logic.Value
+	next8    []logic.Value
+	faultyS2 []sim.V3
 }
 
 // New builds the simulator.
 func New(net *sim.Net, alg *logic.Algebra) *Sim {
-	return &Sim{net: net, alg: alg, fs: fausim.New(net)}
+	return &Sim{
+		net:      net,
+		alg:      alg,
+		fs:       fausim.New(net),
+		vals8:    make([]logic.Value, len(net.C.Nodes)),
+		next8:    make([]logic.Value, len(net.C.DFFs)),
+		faultyS2: make([]sim.V3, len(net.C.DFFs)),
+	}
 }
 
 // FastFrame holds the concrete two-frame situation of one applied test:
@@ -89,7 +105,8 @@ func (s *Sim) Detect(ff *FastFrame, skip func(faults.Delay) bool) []faults.Delay
 // propagation frames with the corrupted captured state.
 func (s *Sim) Confirm(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, f faults.Delay) bool {
 	inj := &sim.InjectDelay{Line: f.Line, SlowToRise: f.Type == faults.SlowToRise}
-	vals := s.net.LoadFrame8(ff.V1, ff.V2, ff.S0, ff.S1)
+	vals := s.vals8
+	s.net.LoadFrame8Into(vals, ff.V1, ff.V2, ff.S0, ff.S1)
 	s.net.Eval8(s.alg, vals, inj)
 
 	// Robust observation at a PO in the fast frame.
@@ -107,8 +124,9 @@ func (s *Sim) Confirm(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, f 
 	// several PPOs at once are judged together (a single-bit
 	// observability analysis would wrongly reject them).
 	carried := false
-	faultyS2 := make([]sim.V3, len(goodS2))
-	next := s.net.NextState8(vals, inj)
+	faultyS2 := s.faultyS2[:len(goodS2)]
+	next := s.next8
+	s.net.NextState8Into(next, vals, inj)
 	for i, w := range next {
 		if w.Carrying() {
 			faultyS2[i] = sim.V3(w.Initial())
