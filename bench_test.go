@@ -17,9 +17,11 @@ import (
 	"testing"
 
 	"fogbuster/internal/bench"
+	"fogbuster/internal/compact"
 	"fogbuster/internal/core"
 	"fogbuster/internal/faults"
 	"fogbuster/internal/logic"
+	"fogbuster/internal/order"
 	"fogbuster/internal/semilet"
 	"fogbuster/internal/sim"
 	"fogbuster/internal/tdgen"
@@ -181,6 +183,77 @@ func BenchmarkFOGBUSTERParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkOrderingPermutation measures the ordering heuristics
+// themselves on the largest benchmark: the ADI row includes the random
+// fault-simulation campaign over the full line universe (64-way
+// batched), the others are pure sorts over static measures.
+func BenchmarkOrderingPermutation(b *testing.B) {
+	c := bench.ProfileByName("s1238").Circuit()
+	all := faults.AllDelay(c)
+	for _, h := range []order.Heuristic{order.Topological, order.SCOAP, order.ADI} {
+		b.Run(string(h), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				order.Permutation(c, all, h, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkOrderingATPG contrasts the full flow under each fault
+// order. The reported metrics are the explicit-target count and the
+// total vector count: a good order front-loads simulation credit, so
+// fewer faults are explicitly targeted and the test set shrinks.
+func BenchmarkOrderingATPG(b *testing.B) {
+	for _, name := range []string{"s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		for _, h := range []order.Heuristic{order.Natural, order.Topological, order.SCOAP, order.ADI} {
+			b.Run(name+"/"+h.Name(), func(b *testing.B) {
+				var explicit, patterns int
+				for i := 0; i < b.N; i++ {
+					sum := core.New(c, core.Options{Order: h}).Run()
+					explicit, patterns = sum.Explicit, sum.Patterns
+				}
+				b.ReportMetric(float64(explicit), "explicit")
+				b.ReportMetric(float64(patterns), "patterns")
+			})
+		}
+	}
+}
+
+// BenchmarkCompactionATPG measures the full generate-then-compact
+// pipeline (reverse-order drop plus overlap merge) and reports the
+// vector counts on both sides of the compaction.
+func BenchmarkCompactionATPG(b *testing.B) {
+	for _, name := range []string{"s298", "s344", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		b.Run(name, func(b *testing.B) {
+			var before, after int
+			for i := 0; i < b.N; i++ {
+				sum := core.New(c, core.Options{Compact: true}).Run()
+				st := compact.Apply(c, sum, compact.Options{})
+				before, after = st.PatternsBefore, st.PatternsAfter
+			}
+			b.ReportMetric(float64(before), "vectors-before")
+			b.ReportMetric(float64(after), "vectors-after")
+		})
+	}
+}
+
+// BenchmarkCompactionApply isolates the compaction pass itself: the ATPG
+// run happens once outside the timer and Apply works on a fresh summary
+// each iteration.
+func BenchmarkCompactionApply(b *testing.B) {
+	c := bench.ProfileByName("s386").Circuit()
+	b.Run("s386", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sum := core.New(c, core.Options{Compact: true}).Run()
+			b.StartTimer()
+			compact.Apply(c, sum, compact.Options{})
+		}
+	})
 }
 
 // BenchmarkAblationNonRobust reproduces the paper's concluding claim: the

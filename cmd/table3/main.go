@@ -14,8 +14,10 @@ import (
 	"os"
 
 	"fogbuster/internal/bench"
+	"fogbuster/internal/compact"
 	"fogbuster/internal/core"
 	"fogbuster/internal/logic"
+	"fogbuster/internal/order"
 )
 
 func main() {
@@ -24,14 +26,22 @@ func main() {
 	only := flag.String("circuit", "", "run a single circuit by name (e.g. s27)")
 	noSim := flag.Bool("nofaultsim", false, "disable fault simulation credit")
 	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
+	orderFlag := flag.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	compactFlag := flag.Bool("compact", false, "compact every test set and report vectors before/after")
 	flag.Parse()
+
+	heur, err := order.Parse(*orderFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+		os.Exit(2)
+	}
 
 	alg := logic.Robust
 	if *nonRobust {
 		alg = logic.NonRobust
 	}
 
-	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model", alg.Name())
+	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model, %s order", alg.Name(), heur.Name())
 	if *strict {
 		fmt.Printf(", strict initialization")
 	}
@@ -53,10 +63,17 @@ func main() {
 			StrictInit:      *strict,
 			DisableFaultSim: *noSim,
 			Workers:         *workers,
+			Order:           heur,
+			Compact:         *compactFlag,
 		}).Run()
 		note := ""
 		if !p.Exact {
 			note = " *"
+		}
+		if *compactFlag {
+			st := compact.Apply(c, sum, compact.Options{Algebra: alg})
+			note += fmt.Sprintf(" | vectors %d -> %d (%d of %d sequences dropped, %d spliced frames)",
+				st.PatternsBefore, st.PatternsAfter, st.Dropped, st.Sequences, st.SplicedFrames)
 		}
 		if sum.ValidationFailures > 0 {
 			note += fmt.Sprintf(" (%d VALIDATION FAILURES)", sum.ValidationFailures)

@@ -9,9 +9,11 @@ import (
 	"os"
 	"strings"
 
+	"fogbuster/internal/compact"
 	"fogbuster/internal/core"
 	"fogbuster/internal/logic"
 	"fogbuster/internal/netlist"
+	"fogbuster/internal/order"
 	"fogbuster/internal/sim"
 )
 
@@ -25,7 +27,15 @@ func main() {
 	csvOut := flag.String("csv", "", "write the per-fault results and sequences to a CSV file")
 	varBudget := flag.Int("variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
 	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
+	orderFlag := flag.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	compactFlag := flag.Bool("compact", false, "compact the test set (reverse-order drop + overlap merge) after generation")
 	flag.Parse()
+
+	heur, err := order.Parse(*orderFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+		os.Exit(2)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tdatpg [flags] circuit.bench")
@@ -54,7 +64,12 @@ func main() {
 		StrictInit:      *strict,
 		VariationBudget: *varBudget,
 		Workers:         *workers,
+		Order:           heur,
+		Compact:         *compactFlag,
 	}).Run()
+	if *compactFlag {
+		compact.Apply(c, sum, compact.Options{Algebra: alg})
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
@@ -73,8 +88,12 @@ func main() {
 	}
 
 	fmt.Println(c.Stats())
-	fmt.Printf("model=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
-		sum.Algebra, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime)
+	fmt.Printf("model=%s order=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
+		sum.Algebra, sum.Order, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime)
+	if st := sum.Compaction; st != nil {
+		fmt.Printf("compaction: vectors %d -> %d, sequences %d -> %d (%d dropped, %d pairs spliced saving %d vectors)\n",
+			st.PatternsBefore, st.PatternsAfter, st.Sequences, st.Kept, st.Dropped, st.Splices, st.SplicedFrames)
+	}
 	if sum.ValidationFailures > 0 {
 		fmt.Printf("WARNING: %d sequences failed independent validation\n", sum.ValidationFailures)
 	}

@@ -1,0 +1,193 @@
+package compact
+
+import (
+	"math/rand"
+
+	"fogbuster/internal/core"
+	"fogbuster/internal/faults"
+	"fogbuster/internal/fausim"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/tdsim"
+)
+
+// spliceAdjacent overlap-merges disjoint adjacent pairs of kept
+// sequences: when the last k propagation frames of sequence A are
+// three-valued-compatible with the first k synchronization frames of
+// the next kept sequence B, the two sequences can share those frames if
+// B is applied immediately after A. Each accepted splice shortens B's
+// synchronization prefix by k vectors. Pairs are disjoint (an accepted
+// splice consumes both sequences), so every confirmation is local to
+// one pair and the walk stays deterministic.
+func spliceAdjacent(c *netlist.Circuit, sum *core.Summary, kept []int, assigned map[int][]faults.Delay, alg *logic.Algebra, seed int64, stats *core.CompactionStats) {
+	net := sim.NewNet(c)
+	ap := &applier{net: net, td: tdsim.New(net, alg)}
+	for k := 0; k+1 < len(kept); k++ {
+		a := sum.Results[kept[k]].Seq
+		b := sum.Results[kept[k+1]].Seq
+		if saved := ap.trySplice(a, b, assigned[kept[k]], assigned[kept[k+1]], pairSeed(seed, k)); saved > 0 {
+			stats.Splices++
+			stats.SplicedFrames += saved
+			k++
+		}
+	}
+}
+
+// pairSeed derives a deterministic confirmation-fill seed per pair
+// (splitmix64 finalizer, like the engine's per-fault seed).
+func pairSeed(seed int64, pair int) int64 {
+	z := uint64(seed) ^ 0xC09DEAD5 ^ 0x9E3779B97F4A7C15*(uint64(pair)+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// applier replays candidate splices on the concrete simulators.
+type applier struct {
+	net *sim.Net
+	td  *tdsim.Sim
+}
+
+// trySplice attempts the widest acceptable overlap between A's
+// propagation tail and B's synchronization head, mutating both
+// sequences on success and returning the number of vectors saved.
+func (ap *applier) trySplice(a, b *core.TestSequence, coverA, coverB []faults.Delay, seed int64) int {
+	max := len(a.Prop)
+	if len(b.Sync) < max {
+		max = len(b.Sync)
+	}
+	for k := max; k >= 1; k-- {
+		merged, ok := mergeFrames(a.Prop[len(a.Prop)-k:], b.Sync[:k])
+		if !ok {
+			continue
+		}
+		if ap.confirmPair(a, b, merged, k, coverA, coverB, seed) {
+			copy(a.Prop[len(a.Prop)-k:], merged)
+			b.Sync = b.Sync[k:]
+			fault := a.Fault
+			b.Follows = &fault
+			return k
+		}
+	}
+	return 0
+}
+
+// mergeFrames merges two equally long frame windows position by
+// position: values agree, or one side is X and adopts the other. A hard
+// conflict rejects the window.
+func mergeFrames(x, y [][]sim.V3) ([][]sim.V3, bool) {
+	out := make([][]sim.V3, len(x))
+	for i := range x {
+		vec := make([]sim.V3, len(x[i]))
+		for j := range vec {
+			xv, yv := x[i][j], y[i][j]
+			switch {
+			case xv == yv:
+				vec[j] = xv
+			case xv == sim.X:
+				vec[j] = yv
+			case yv == sim.X:
+				vec[j] = xv
+			default:
+				return nil, false
+			}
+		}
+		out[i] = vec
+	}
+	return out, true
+}
+
+// confirmPair checks a candidate splice exactly: under one
+// deterministic concrete fill, every fault assigned to A must still be
+// detected with A's propagation tail replaced by the merged frames, and
+// every fault assigned to B must be detected when B (with its
+// synchronization prefix cut) runs from the machine state A leaves
+// behind.
+func (ap *applier) confirmPair(a, b *core.TestSequence, merged [][]sim.V3, k int, coverA, coverB []faults.Delay, seed int64) bool {
+	rng := rand.New(rand.NewSource(seed))
+	propA := make([][]sim.V3, 0, len(a.Prop))
+	propA = append(propA, a.Prop[:len(a.Prop)-k]...)
+	propA = append(propA, merged...)
+	ffA, after := ap.frame(a, a.Sync, nil, propA, rng)
+	if !ap.confirmAll(ffA, coverA) {
+		return false
+	}
+	ffB, _ := ap.frame(b, b.Sync[k:], after, b.Prop, rng)
+	return ap.confirmAll(ffB, coverB)
+}
+
+// frame builds the concrete two-frame situation of one sequence the way
+// the engine's fault simulation phase does (core.fastFrame), but from an
+// explicit entry state when the sequence runs mid-program, and returns
+// the good-machine state after the sequence's last frame as well.
+func (ap *applier) frame(seq *core.TestSequence, syncFrames [][]sim.V3, entry []sim.V3, prop [][]sim.V3, rng *rand.Rand) (*tdsim.FastFrame, []sim.V3) {
+	nFF := len(ap.net.C.DFFs)
+	state := make([]sim.V3, nFF)
+	if entry != nil {
+		copy(state, entry)
+	} else {
+		for i := range state {
+			if seq.Assumed != nil && seq.Assumed[i].Known() {
+				state[i] = seq.Assumed[i]
+			} else {
+				state[i] = sim.V3(rng.Intn(2))
+			}
+		}
+	}
+	syncV := fausim.FillSequence(syncFrames, rng)
+	if len(syncV) > 0 {
+		steps := ap.net.SeqSim3(state, syncV)
+		state = steps[len(steps)-1].State
+	}
+	fillState(state, rng)
+	v1 := sim.XFill(seq.V1, rng)
+	v2 := sim.XFill(seq.V2, rng)
+	f1 := ap.net.LoadFrame(v1, state)
+	ap.net.Eval3(f1, nil)
+	s1 := ap.net.NextState3(f1, nil)
+	fillState(s1, rng)
+	ff := &tdsim.FastFrame{V1: v1, V2: v2, S0: state, S1: s1, Prop: fausim.FillSequence(prop, rng)}
+
+	// Advance the good machine from the captured (filled) state s1
+	// through the fast frame and the propagation frames for the state
+	// handed to the next sequence.
+	after := s1
+	for _, vec := range append([][]sim.V3{v2}, ff.Prop...) {
+		fv := ap.net.LoadFrame(vec, after)
+		ap.net.Eval3(fv, nil)
+		after = ap.net.NextState3(fv, nil)
+	}
+	fillState(after, rng)
+	return ff, after
+}
+
+// fillState replaces X state bits with deterministic random values, the
+// same treatment core.fastFrame applies before the fast frame.
+func fillState(state []sim.V3, rng *rand.Rand) {
+	for i, v := range state {
+		if v == sim.X {
+			state[i] = sim.V3(rng.Intn(2))
+		}
+	}
+}
+
+// confirmAll runs the exact eight-valued confirmation for every fault
+// in the cover against the concrete frame.
+func (ap *applier) confirmAll(ff *tdsim.FastFrame, cover []faults.Delay) bool {
+	vals := ap.td.Values(ff)
+	ppos := ap.net.C.PPOs()
+	goodS2 := make([]sim.V3, len(ppos))
+	for i, ppo := range ppos {
+		goodS2[i] = sim.V3(vals[ppo].Final())
+	}
+	for _, f := range cover {
+		if !ap.td.Confirm(ff, vals, goodS2, f) {
+			return false
+		}
+	}
+	return true
+}

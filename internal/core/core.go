@@ -14,6 +14,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"fogbuster/internal/faults"
 	"fogbuster/internal/logic"
 	"fogbuster/internal/netlist"
+	"fogbuster/internal/order"
 	"fogbuster/internal/sim"
 	"fogbuster/internal/testability"
 	"fogbuster/internal/timing"
@@ -111,6 +113,22 @@ type Options struct {
 	// 0 (the default) uses runtime.NumCPU(); a negative value forces a
 	// single worker. Results are bit-identical for every worker count.
 	Workers int
+	// Order selects the fault-targeting order (see internal/order): the
+	// zero value and order.Natural keep the canonical line order;
+	// order.Topological, order.SCOAP and order.ADI reorder the universe.
+	// The ordering changes which faults end up explicitly targeted
+	// versus credited by fault simulation, never the per-fault search
+	// itself (each fault keeps the X-fill stream of its canonical
+	// index), and results remain bit-identical at every worker count for
+	// a given ordering.
+	Order order.Heuristic
+	// Compact records the full detection set of every generated sequence
+	// (TestSequence.Detects) and the generation order (Summary.SeqOrder)
+	// so that internal/compact can drop and splice sequences after the
+	// run. It changes no fault status: the skip filter the credit pass
+	// drops here only ever excludes faults the merge loop would refuse
+	// to credit anyway.
+	Compact bool
 }
 
 // workerCount resolves the Workers option.
@@ -139,6 +157,21 @@ type TestSequence struct {
 	// Assumed holds power-up state bits the optimistic initialization
 	// policy committed to; nil for strictly synchronized tests.
 	Assumed []sim.V3
+	// Detects is the full set of faults this sequence detects under the
+	// engine's concrete fill, recorded only when Options.Compact is set.
+	// It is a superset of the faults the merge loop credited to the
+	// sequence and need not contain Fault itself (the target's detection
+	// is witnessed by the independent validator under a different fill).
+	Detects []faults.Delay
+	// Dropped marks a sequence removed by test-set compaction
+	// (internal/compact): every fault it covered is detected by a kept
+	// sequence.
+	Dropped bool
+	// Follows, when non-nil, names the sequence this one was spliced
+	// after: the overlap merge cut this sequence's synchronization
+	// prefix, so it is valid only applied immediately after the test for
+	// the named fault.
+	Follows *faults.Delay
 }
 
 // Len returns the vector count, the paper's per-test pattern cost
@@ -165,6 +198,7 @@ type FaultResult struct {
 type Summary struct {
 	Circuit    string
 	Algebra    string
+	Order      string // fault-ordering heuristic (internal/order)
 	Results    []FaultResult
 	Tested     int // explicit + simulation credit
 	Explicit   int
@@ -175,6 +209,24 @@ type Summary struct {
 	// ValidationFailures counts generated sequences the independent
 	// checker rejected; it must be zero and exists as a self-check.
 	ValidationFailures int
+	// SeqOrder lists the Results indices of explicitly tested faults in
+	// generation (commit) order; test-set compaction replays it in
+	// reverse.
+	SeqOrder []int
+	// Compaction is filled by internal/compact when the test set was
+	// compacted; nil otherwise.
+	Compaction *CompactionStats
+}
+
+// CompactionStats summarizes what internal/compact did to the test set.
+type CompactionStats struct {
+	Sequences      int // explicit sequences before compaction
+	Kept           int // sequences surviving the reverse-order drop
+	Dropped        int // sequences whose covered faults later tests detect
+	PatternsBefore int // total vectors before compaction
+	PatternsAfter  int // total vectors after dropping and splicing
+	Splices        int // adjacent sequence pairs overlap-merged
+	SplicedFrames  int // vectors saved by the overlap merges
 }
 
 // Engine runs the combined flow over a circuit. The per-fault search
@@ -192,8 +244,16 @@ type Engine struct {
 	index map[faults.Delay]int
 }
 
-// New prepares an engine for the circuit.
+// New prepares an engine for the circuit. An unrecognized Options.Order
+// panics: silently falling back to the natural order would let an
+// experiment report a heuristic it never ran (CLIs validate spellings
+// with order.Parse first).
 func New(c *netlist.Circuit, opts Options) *Engine {
+	h, err := order.Parse(string(opts.Order))
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	opts.Order = h
 	if opts.Algebra == nil {
 		opts.Algebra = logic.Robust
 	}
@@ -215,7 +275,8 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 	return e
 }
 
-// faultOutcome is one worker's result for one claimed fault index. An
+// faultOutcome is one worker's result for one claimed targeting
+// position (a fault index when no ordering permutation is active). An
 // outcome with status Pending marks a fault the worker skipped because
 // the merge loop had already credited it.
 type faultOutcome struct {
@@ -229,10 +290,16 @@ type faultOutcome struct {
 // Run processes the complete delay fault universe and returns the
 // summary. The universe is sharded over Options.Workers goroutines; each
 // worker owns a full clone of the mutable ATPG state and an X-fill RNG
-// reseeded per fault from Options.Seed and the fault index, and the
-// merge loop commits outcomes strictly in fault order, reconciling the
-// post-generation simulation credit exactly as the serial flow would.
-// The summary is therefore bit-identical for every worker count.
+// reseeded per fault from Options.Seed and the fault's canonical index,
+// and the merge loop commits outcomes strictly in targeting order,
+// reconciling the post-generation simulation credit exactly as the
+// serial flow would. The summary is therefore bit-identical for every
+// worker count.
+//
+// When Options.Order names a heuristic, targeting order is the
+// deterministic permutation internal/order computes; the canonical
+// index still seeds each fault's X-fill stream, so a fault's search is
+// the same under every ordering and only the credit chronology moves.
 func (e *Engine) Run() *Summary {
 	start := time.Now()
 	all := faults.AllDelay(e.c)
@@ -241,8 +308,9 @@ func (e *Engine) Run() *Summary {
 	for i, f := range all {
 		e.index[f] = i
 	}
+	perm := order.Permutation(e.c, all, e.opts.Order, e.opts.Seed)
 
-	sum := &Summary{Circuit: e.c.Name, Algebra: e.alg.Name()}
+	sum := &Summary{Circuit: e.c.Name, Algebra: e.alg.Name(), Order: e.opts.Order.Name()}
 	sum.Results = make([]FaultResult, n)
 	for i, f := range all {
 		sum.Results[i].Fault = f
@@ -265,10 +333,10 @@ func (e *Engine) Run() *Summary {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				e.newWorker().run(all, status, &next, results)
+				e.newWorker().run(all, perm, status, &next, results)
 			}()
 		}
-		e.merge(sum, status, results, n)
+		e.merge(sum, perm, status, results, n)
 		wg.Wait()
 	}
 
@@ -291,12 +359,13 @@ func (e *Engine) Run() *Summary {
 	return sum
 }
 
-// merge commits worker outcomes strictly in fault order. Out-of-order
-// arrivals wait in a reorder buffer; a committed Tested outcome applies
-// its simulation credit to every still-pending fault, and an outcome for
-// a fault that an earlier commit credited is discarded, exactly
-// reproducing the serial processing order.
-func (e *Engine) merge(sum *Summary, status []atomic.Uint32, results <-chan faultOutcome, n int) {
+// merge commits worker outcomes strictly in targeting order (positions
+// in the ordering permutation; fault order when perm is nil).
+// Out-of-order arrivals wait in a reorder buffer; a committed Tested
+// outcome applies its simulation credit to every still-pending fault,
+// and an outcome for a fault that an earlier commit credited is
+// discarded, exactly reproducing the serial processing order.
+func (e *Engine) merge(sum *Summary, perm []int, status []atomic.Uint32, results <-chan faultOutcome, n int) {
 	reorder := make(map[int]faultOutcome)
 	cursor := 0
 	for cursor < n {
@@ -308,12 +377,20 @@ func (e *Engine) merge(sum *Summary, status []atomic.Uint32, results <-chan faul
 				break
 			}
 			delete(reorder, cursor)
-			if Status(status[cursor].Load()) == Pending {
-				status[cursor].Store(uint32(cur.status))
+			fi := cursor
+			if perm != nil {
+				fi = perm[cursor]
+			}
+			if Status(status[fi].Load()) == Pending {
+				status[fi].Store(uint32(cur.status))
 				sum.ValidationFailures += cur.valFail
 				if cur.status == Tested {
-					sum.Results[cursor].Seq = cur.seq
+					sum.Results[fi].Seq = cur.seq
 					sum.Patterns += cur.seq.Len()
+					sum.SeqOrder = append(sum.SeqOrder, fi)
+					if e.opts.Compact {
+						cur.seq.Detects = cur.detected
+					}
 					for _, f := range cur.detected {
 						if j, ok := e.index[f]; ok && Status(status[j].Load()) == Pending {
 							status[j].Store(uint32(TestedBySim))

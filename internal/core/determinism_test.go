@@ -2,17 +2,20 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"fogbuster/internal/bench"
+	"fogbuster/internal/order"
 )
 
 // summarize flattens the determinism-relevant part of a Summary: the
 // per-fault status and per-fault pattern cost (the sequence length for
-// explicit tests, 0 otherwise), plus the aggregate counters.
+// explicit tests, 0 otherwise), plus the aggregate counters and the
+// generation order.
 func summarize(s *Summary) string {
-	out := fmt.Sprintf("tested=%d explicit=%d untestable=%d aborted=%d patterns=%d valfail=%d\n",
-		s.Tested, s.Explicit, s.Untestable, s.Aborted, s.Patterns, s.ValidationFailures)
+	out := fmt.Sprintf("order=%s tested=%d explicit=%d untestable=%d aborted=%d patterns=%d valfail=%d seqorder=%v\n",
+		s.Order, s.Tested, s.Explicit, s.Untestable, s.Aborted, s.Patterns, s.ValidationFailures, s.SeqOrder)
 	for _, r := range s.Results {
 		n := 0
 		if r.Seq != nil {
@@ -50,6 +53,59 @@ func TestWorkerCountInvariance(t *testing.T) {
 				t.Errorf("%s: Workers=%d diverged from Workers=1:\n--- serial\n%s--- workers=%d\n%s",
 					name, workers, base, workers, got)
 			}
+		}
+	}
+}
+
+// TestOrderingWorkerInvariance extends the contract to every fault
+// ordering: for a fixed heuristic the Summary stays bit-identical from
+// one worker to NumCPU, because the permutation is a pure function of
+// (circuit, heuristic, seed), the merge loop commits in permutation
+// order, and X-fill streams stay keyed to canonical fault indices.
+func TestOrderingWorkerInvariance(t *testing.T) {
+	for _, name := range []string{"s27", "s298"} {
+		c := bench.ProfileByName(name).Circuit()
+		for _, h := range []order.Heuristic{order.Topological, order.SCOAP, order.ADI} {
+			base := summarize(New(c, Options{Workers: 1, Order: h}).Run())
+			for _, workers := range []int{4, runtime.NumCPU()} {
+				got := summarize(New(c, Options{Workers: workers, Order: h}).Run())
+				if got != base {
+					t.Errorf("%s/%s: Workers=%d diverged:\n--- serial\n%s--- workers=%d\n%s",
+						name, h, workers, base, workers, got)
+				}
+			}
+		}
+	}
+}
+
+// TestNewRejectsUnknownOrder pins the fail-fast contract: a
+// misspelled heuristic must not silently run the natural order under
+// the wrong label.
+func TestNewRejectsUnknownOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an unknown ordering heuristic")
+		}
+	}()
+	New(bench.NewS27(), Options{Order: "bogus"})
+}
+
+// TestOrderingClassifiesEverything checks that a reordered run still
+// classifies the complete universe and never invents validation
+// failures: ordering moves the credit chronology, not the search.
+func TestOrderingClassifiesEverything(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	total := len(bench.ProfileByName("s298").Circuit().Lines()) * 2
+	for _, h := range []order.Heuristic{order.Natural, order.Topological, order.SCOAP, order.ADI} {
+		sum := New(c, Options{Order: h}).Run()
+		if n := sum.Tested + sum.Untestable + sum.Aborted; n != total {
+			t.Errorf("%s: classified %d of %d faults", h, n, total)
+		}
+		if sum.ValidationFailures != 0 {
+			t.Errorf("%s: %d validation failures", h, sum.ValidationFailures)
+		}
+		if sum.Order != h.Name() {
+			t.Errorf("Summary.Order = %q, want %q", sum.Order, h.Name())
 		}
 	}
 }

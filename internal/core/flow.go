@@ -50,35 +50,49 @@ func faultSeed(seed int64, i int) int64 {
 	return int64(z)
 }
 
-// run claims fault indices from the shared counter until the universe is
-// exhausted, sending exactly one outcome per claimed index. A fault the
-// merge loop has already credited is skipped with an empty outcome; the
-// check is advisory (a stale read costs a wasted generation that the
-// merge loop discards), so no lock is ever held.
-func (w *worker) run(all []faults.Delay, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
+// run claims targeting positions from the shared counter until the
+// universe is exhausted, sending exactly one outcome per claimed
+// position (perm maps positions to fault indices; nil is the identity).
+// A fault the merge loop has already credited is skipped with an empty
+// outcome; the check is advisory (a stale read costs a wasted generation
+// that the merge loop discards), so no lock is ever held.
+func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
 	for {
-		i := int(next.Add(1)) - 1
-		if i >= len(all) {
+		p := int(next.Add(1)) - 1
+		if p >= len(all) {
 			return
 		}
+		i := p
+		if perm != nil {
+			i = perm[p]
+		}
 		if Status(status[i].Load()) != Pending {
-			results <- faultOutcome{idx: i}
+			results <- faultOutcome{idx: p}
 			continue
 		}
 		w.rng = rand.New(rand.NewSource(faultSeed(w.e.opts.Seed, i)))
-		o := faultOutcome{idx: i}
+		o := faultOutcome{idx: p}
 		o.seq, o.status, o.valFail = w.generate(all[i])
 		if o.status == Tested && !w.e.opts.DisableFaultSim {
 			// Post-generation fault simulation runs here, on the worker,
 			// so the expensive CPT and confirmation work parallelizes;
 			// only the status bookkeeping happens on the merge loop. The
 			// skip filter reads racy status snapshots purely to save
-			// work: the merge loop re-checks every detected fault.
-			ff := w.fastFrame(o.seq)
-			o.detected = w.td.Detect(ff, func(f faults.Delay) bool {
+			// work: the merge loop re-checks every detected fault. With
+			// Compact the filter is dropped so the recorded detection
+			// set is complete and independent of claim timing; that
+			// changes no credit decision, because a fault still pending
+			// at commit time was also pending at detect time and is in
+			// the filtered list either way.
+			skip := func(f faults.Delay) bool {
 				j, ok := w.e.index[f]
 				return !ok || Status(status[j].Load()) != Pending
-			})
+			}
+			if w.e.opts.Compact {
+				skip = nil
+			}
+			ff := w.fastFrame(o.seq)
+			o.detected = w.td.Detect(ff, skip)
 		}
 		results <- o
 	}

@@ -11,10 +11,18 @@ import (
 	"fogbuster/internal/sim"
 )
 
-// Row returns the summary as one Table 3 row.
+// Row returns the summary as one Table 3 row. A compacted summary
+// additionally reports the post-compaction vector count.
 func (s *Summary) Row() string {
-	return fmt.Sprintf("%s: tested=%d untestable=%d aborted=%d patterns=%d time=%v",
+	row := fmt.Sprintf("%s: tested=%d untestable=%d aborted=%d patterns=%d time=%v",
 		s.Circuit, s.Tested, s.Untestable, s.Aborted, s.Patterns, s.Runtime)
+	if s.Order != "" && s.Order != "natural" {
+		row += fmt.Sprintf(" order=%s", s.Order)
+	}
+	if s.Compaction != nil {
+		row += fmt.Sprintf(" compacted=%d", s.Compaction.PatternsAfter)
+	}
+	return row
 }
 
 // WriteReport prints a human-readable per-fault classification.
@@ -26,6 +34,12 @@ func (s *Summary) WriteReport(w io.Writer, c *netlist.Circuit) error {
 		line := fmt.Sprintf("%-28s %s", r.Fault.Name(c), r.Status)
 		if r.Seq != nil {
 			line += fmt.Sprintf("  [%d vectors, PO %d]", r.Seq.Len(), r.Seq.ObservePO)
+			if r.Seq.Dropped {
+				line += " [dropped by compaction]"
+			}
+			if r.Seq.Follows != nil {
+				line += fmt.Sprintf(" [spliced: apply immediately after %s]", r.Seq.Follows.Name(c))
+			}
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err
@@ -40,11 +54,11 @@ func (s *Summary) WriteReport(w io.Writer, c *netlist.Circuit) error {
 func (s *Summary) WriteCSV(w io.Writer, c *netlist.Circuit) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"fault", "status", "vectors", "observe_po", "sequence"}); err != nil {
+	if err := cw.Write([]string{"fault", "status", "vectors", "observe_po", "sequence", "dropped", "follows"}); err != nil {
 		return err
 	}
 	for _, r := range s.Results {
-		rec := []string{r.Fault.Name(c), r.Status.String(), "", "", ""}
+		rec := []string{r.Fault.Name(c), r.Status.String(), "", "", "", "", ""}
 		if r.Seq != nil {
 			rec[2] = strconv.Itoa(r.Seq.Len())
 			rec[3] = strconv.Itoa(r.Seq.ObservePO)
@@ -53,6 +67,10 @@ func (s *Summary) WriteCSV(w io.Writer, c *netlist.Circuit) error {
 				frames = append(frames, vecString(vec))
 			}
 			rec[4] = strings.Join(frames, "|")
+			rec[5] = strconv.FormatBool(r.Seq.Dropped)
+			if r.Seq.Follows != nil {
+				rec[6] = r.Seq.Follows.Name(c)
+			}
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

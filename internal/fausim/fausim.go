@@ -14,6 +14,7 @@ package fausim
 
 import (
 	"math/rand"
+	"sort"
 
 	"fogbuster/internal/netlist"
 	"fogbuster/internal/sim"
@@ -215,6 +216,31 @@ func (s *Sim) StuckCoverage(vectors [][]sim.V3, lines []netlist.Line) map[netlis
 			out[f.line] = det
 		}
 	}
+	return out
+}
+
+// Detection pairs one line with its stuck-at detection flags, the
+// flattened form of one StuckCoverage entry. Det is indexed by the stuck
+// value: Det[0] is stuck-at-0, Det[1] is stuck-at-1.
+type Detection struct {
+	Line netlist.Line
+	Det  [2]bool
+}
+
+// SortedDetections flattens a StuckCoverage result into deterministic
+// (Node, Branch) order, so reports, tests and heuristics never iterate
+// the Go map directly.
+func SortedDetections(cov map[netlist.Line][2]bool) []Detection {
+	out := make([]Detection, 0, len(cov))
+	for l, det := range cov {
+		out = append(out, Detection{Line: l, Det: det})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Line.Node != out[j].Line.Node {
+			return out[i].Line.Node < out[j].Line.Node
+		}
+		return out[i].Line.Branch < out[j].Line.Branch
+	})
 	return out
 }
 

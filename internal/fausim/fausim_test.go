@@ -28,6 +28,41 @@ func TestFillSequence(t *testing.T) {
 	}
 }
 
+// TestSortedDetections pins the deterministic accessor: the flattened
+// result is in (Node, Branch) order and agrees entry-for-entry with the
+// underlying map.
+func TestSortedDetections(t *testing.T) {
+	c := bench.NewS27()
+	net := sim.NewNet(c)
+	s := New(net)
+	rng := rand.New(rand.NewSource(7))
+	vectors := make([][]sim.V3, 12)
+	for i := range vectors {
+		vec := make([]sim.V3, len(c.PIs))
+		for j := range vec {
+			vec[j] = sim.V3(rng.Intn(2))
+		}
+		vectors[i] = vec
+	}
+	cov := s.StuckCoverage(vectors, c.Lines())
+	flat := SortedDetections(cov)
+	if len(flat) != len(cov) {
+		t.Fatalf("flattened %d entries, map has %d", len(flat), len(cov))
+	}
+	for i, d := range flat {
+		if got, ok := cov[d.Line]; !ok || got != [2]bool(d.Det) {
+			t.Errorf("entry %d (%v) disagrees with the map", i, d.Line)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := flat[i-1].Line
+		if d.Line.Node < prev.Node || (d.Line.Node == prev.Node && d.Line.Branch <= prev.Branch) {
+			t.Fatalf("entries out of order: %v after %v", d.Line, prev)
+		}
+	}
+}
+
 // TestPairDiffShiftRegister: a single flipped state bit in a shift
 // register surfaces at the output after exactly the remaining stages.
 func TestPairDiffShiftRegister(t *testing.T) {

@@ -1,0 +1,34 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/netlist"
+)
+
+// TestBenchRoundTripStats pins the writer against the parser for every
+// internal/bench circuit: rendering a circuit to .bench and parsing it
+// back yields identical statistics (and therefore the identical fault
+// universe), and the rendering is a fixpoint.
+func TestBenchRoundTripStats(t *testing.T) {
+	circuits := []*netlist.Circuit{bench.NewS27(), bench.NewC17(),
+		bench.RippleCarryAdder(8), bench.ShiftRegister(16)}
+	for _, p := range bench.Profiles {
+		circuits = append(circuits, p.Circuit())
+	}
+	for _, c := range circuits {
+		src := c.Bench()
+		rt, err := netlist.Parse(c.Name, src)
+		if err != nil {
+			t.Errorf("%s: re-parse failed: %v", c.Name, err)
+			continue
+		}
+		if got, want := rt.Stats(), c.Stats(); got != want {
+			t.Errorf("%s: stats changed across Write -> parse:\n got %v\nwant %v", c.Name, got, want)
+		}
+		if again := rt.Bench(); again != src {
+			t.Errorf("%s: Bench() is not a fixpoint across re-parse", c.Name)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package order
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/faults"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Heuristic
+	}{
+		{"", Natural}, {"natural", Natural}, {"topo", Topological},
+		{"scoap", SCOAP}, {"adi", ADI},
+	} {
+		got, err := Parse(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Error("Parse(bogus) accepted")
+	}
+	if Heuristic("").Name() != "natural" {
+		t.Errorf("zero heuristic name = %q", Heuristic("").Name())
+	}
+}
+
+// TestPermutationValid checks every heuristic yields a true permutation
+// of the fault universe and that Natural stays the identity (nil).
+func TestPermutationValid(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	all := faults.AllDelay(c)
+	if perm := Permutation(c, all, Natural, 0); perm != nil {
+		t.Fatal("Natural must return nil (identity)")
+	}
+	for _, h := range []Heuristic{Topological, SCOAP, ADI} {
+		perm := Permutation(c, all, h, 0)
+		if len(perm) != len(all) {
+			t.Fatalf("%s: perm length %d, want %d", h, len(perm), len(all))
+		}
+		seen := make([]bool, len(all))
+		for _, i := range perm {
+			if i < 0 || i >= len(all) || seen[i] {
+				t.Fatalf("%s: not a permutation (index %d)", h, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestPermutationDeterministic pins that each heuristic is a pure
+// function of (circuit, heuristic, seed) — the precondition for the
+// engine's worker-count invariance under ordering.
+func TestPermutationDeterministic(t *testing.T) {
+	c := bench.ProfileByName("s344").Circuit()
+	all := faults.AllDelay(c)
+	for _, h := range []Heuristic{Topological, SCOAP, ADI} {
+		a := Permutation(c, all, h, 7)
+		b := Permutation(c, all, h, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: two computations diverge at position %d", h, i)
+			}
+		}
+	}
+}
+
+// TestTopologicalDeepestFirst checks the topological key: levels along
+// the permutation never increase.
+func TestTopologicalDeepestFirst(t *testing.T) {
+	c := bench.ProfileByName("s386").Circuit()
+	all := faults.AllDelay(c)
+	perm := Permutation(c, all, Topological, 0)
+	prev := int32(1 << 30)
+	for _, i := range perm {
+		lvl := c.Nodes[all[i].Line.Node].Level
+		if lvl > prev {
+			t.Fatalf("level increases along the topological order: %d after %d", lvl, prev)
+		}
+		prev = lvl
+	}
+}
+
+// TestOrdersDiffer sanity-checks that the heuristics actually reorder
+// the universe rather than collapsing to the identity.
+func TestOrdersDiffer(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	all := faults.AllDelay(c)
+	for _, h := range []Heuristic{Topological, SCOAP, ADI} {
+		perm := Permutation(c, all, h, 0)
+		identity := true
+		for i, p := range perm {
+			if p != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			t.Errorf("%s: permutation is the identity", h)
+		}
+	}
+}
