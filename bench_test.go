@@ -320,6 +320,56 @@ func BenchmarkFaultSimCPT(b *testing.B) {
 	}
 }
 
+// BenchmarkCreditSweep contrasts the scalar and word-parallel credit
+// sweeps: one full Detect pass (CPT candidate generation plus exact
+// confirmation of every candidate, including the PPO-replay
+// invalidation) for one applied test. The batched variant packs 64
+// candidates per machine word through the carry-rail evaluation and the
+// dual-rail propagation replay (DESIGN.md §6); verdicts are
+// bit-identical, only wall-clock differs.
+func BenchmarkCreditSweep(b *testing.B) {
+	for _, name := range []string{"s386", "s641", "s1196", "s1238"} {
+		c := bench.ProfileByName(name).Circuit()
+		net := sim.NewNet(c)
+		td := tdsim.New(net, logic.Robust)
+		rng := rand.New(rand.NewSource(6))
+		bits := func(n int) []sim.V3 {
+			out := make([]sim.V3, n)
+			for i := range out {
+				out[i] = sim.V3(rng.Intn(2))
+			}
+			return out
+		}
+		v1, s0 := bits(len(c.PIs)), bits(len(c.DFFs))
+		f1 := net.LoadFrame(v1, s0)
+		net.Eval3(f1, nil)
+		ff := &tdsim.FastFrame{
+			V1: v1, V2: bits(len(c.PIs)), S0: s0, S1: net.NextState3(f1, nil),
+			Prop: [][]sim.V3{bits(len(c.PIs)), bits(len(c.PIs)), bits(len(c.PIs))},
+		}
+		var scalarN, batchedN int
+		ranScalar, ranBatched := false, false
+		b.Run(name+"/scalar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				scalarN = len(td.DetectScalar(ff, nil))
+			}
+			ranScalar = true
+			b.ReportMetric(float64(scalarN), "detected")
+		})
+		b.Run(name+"/batched", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batchedN = len(td.Detect(ff, nil))
+			}
+			ranBatched = true
+			b.ReportMetric(float64(batchedN), "detected")
+		})
+		// Only cross-check when a -bench filter selected both variants.
+		if ranScalar && ranBatched && scalarN != batchedN {
+			b.Fatalf("%s: scalar detected %d, batched %d", name, scalarN, batchedN)
+		}
+	}
+}
+
 // BenchmarkSynchronize measures SEMILET's reverse time processing: a full
 // synchronizing sequence for the counter's cleared state.
 func BenchmarkSynchronize(b *testing.B) {

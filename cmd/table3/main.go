@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fogbuster/internal/bench"
@@ -20,29 +21,83 @@ import (
 	"fogbuster/internal/order"
 )
 
-func main() {
-	nonRobust := flag.Bool("nonrobust", false, "use the non-robust fault model (the paper's proposed relaxation)")
-	strict := flag.Bool("strict", false, "demand true synchronizing sequences (no assumed power-up state)")
-	only := flag.String("circuit", "", "run a single circuit by name (e.g. s27)")
-	noSim := flag.Bool("nofaultsim", false, "disable fault simulation credit")
-	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
-	orderFlag := flag.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
-	compactFlag := flag.Bool("compact", false, "compact every test set and report vectors before/after")
-	flag.Parse()
+// config is the parsed command line, split from main so the tests can
+// pin that the flags — the seed in particular — reach the engine.
+type config struct {
+	nonRobust bool
+	strict    bool
+	only      string
+	noSim     bool
+	workers   int
+	compact   bool
+	seed      int64
+	heur      order.Heuristic
+}
 
+// parseArgs parses the command line into a config, reporting errors on
+// stderr.
+func parseArgs(argv []string, stderr io.Writer) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&cfg.nonRobust, "nonrobust", false, "use the non-robust fault model (the paper's proposed relaxation)")
+	fs.BoolVar(&cfg.strict, "strict", false, "demand true synchronizing sequences (no assumed power-up state)")
+	fs.StringVar(&cfg.only, "circuit", "", "run a single circuit by name (e.g. s27)")
+	fs.BoolVar(&cfg.noSim, "nofaultsim", false, "disable fault simulation credit")
+	fs.IntVar(&cfg.workers, "workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
+	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one table, at any worker count)")
+	fs.BoolVar(&cfg.compact, "compact", false, "compact every test set and report vectors before/after")
+	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
 	heur, err := order.Parse(*orderFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+		fmt.Fprintf(stderr, "table3: %v\n", err)
+		return nil, err
+	}
+	cfg.heur = heur
+	return cfg, nil
+}
+
+// algebra resolves the fault model flag.
+func (cfg *config) algebra() *logic.Algebra {
+	if cfg.nonRobust {
+		return logic.NonRobust
+	}
+	return logic.Robust
+}
+
+// engineOptions translates the command line into the engine options.
+func (cfg *config) engineOptions() core.Options {
+	return core.Options{
+		Algebra:         cfg.algebra(),
+		StrictInit:      cfg.strict,
+		DisableFaultSim: cfg.noSim,
+		Seed:            cfg.seed,
+		Workers:         cfg.workers,
+		Order:           cfg.heur,
+		Compact:         cfg.compact,
+	}
+}
+
+// compactOptions translates the command line into the compaction options.
+func (cfg *config) compactOptions() compact.Options {
+	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed}
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
 		os.Exit(2)
 	}
+	alg := cfg.algebra()
 
-	alg := logic.Robust
-	if *nonRobust {
-		alg = logic.NonRobust
-	}
-
-	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model, %s order", alg.Name(), heur.Name())
-	if *strict {
+	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model, %s order", alg.Name(), cfg.heur.Name())
+	if cfg.strict {
 		fmt.Printf(", strict initialization")
 	}
 	fmt.Println(")")
@@ -50,7 +105,7 @@ func main() {
 		"circuit", "tested", "untstbl", "aborted", "#pat", "time", "paper row (tested/untstbl/aborted/#pat/time)")
 
 	for _, p := range bench.Profiles {
-		if *only != "" && p.Name != *only {
+		if cfg.only != "" && p.Name != cfg.only {
 			continue
 		}
 		c, err := bench.Synthesize(p)
@@ -58,20 +113,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
 			os.Exit(1)
 		}
-		sum := core.New(c, core.Options{
-			Algebra:         alg,
-			StrictInit:      *strict,
-			DisableFaultSim: *noSim,
-			Workers:         *workers,
-			Order:           heur,
-			Compact:         *compactFlag,
-		}).Run()
+		sum := core.New(c, cfg.engineOptions()).Run()
 		note := ""
 		if !p.Exact {
 			note = " *"
 		}
-		if *compactFlag {
-			st := compact.Apply(c, sum, compact.Options{Algebra: alg})
+		if cfg.compact {
+			st := compact.Apply(c, sum, cfg.compactOptions())
+			if !st.Complete {
+				fmt.Fprintf(os.Stderr, "table3: %s: compaction refused: recorded detection sets are absent or incomplete\n", p.Name)
+				os.Exit(1)
+			}
 			note += fmt.Sprintf(" | vectors %d -> %d (%d of %d sequences dropped, %d spliced frames)",
 				st.PatternsBefore, st.PatternsAfter, st.Dropped, st.Sequences, st.SplicedFrames)
 		}

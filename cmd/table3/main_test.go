@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"fogbuster/internal/order"
+)
+
+// TestSeedFlagReachesEngine pins the -seed satellite fix for table3: the
+// flag value must land in core.Options.Seed and the compaction options.
+func TestSeedFlagReachesEngine(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-seed", "-9", "-order", "scoap", "-compact", "-circuit", "s386"}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	opts := cfg.engineOptions()
+	if opts.Seed != -9 {
+		t.Fatalf("engine Seed = %d, want -9", opts.Seed)
+	}
+	if co := cfg.compactOptions(); co.Seed != -9 {
+		t.Fatalf("compaction Seed = %d, want -9", co.Seed)
+	}
+	if opts.Order != order.SCOAP {
+		t.Fatalf("engine Order = %q, want scoap", opts.Order)
+	}
+	if !opts.Compact || cfg.only != "s386" {
+		t.Fatalf("flags lost: compact=%v circuit=%q", opts.Compact, cfg.only)
+	}
+	if cfg.engineOptions().Seed != cfg.compactOptions().Seed {
+		t.Fatal("engine and compaction seeds diverge")
+	}
+}
+
+// TestParseArgsRejectsUnknownOrder: a misspelled heuristic fails fast.
+func TestParseArgsRejectsUnknownOrder(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseArgs([]string{"-order", "nope"}, &stderr); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+}

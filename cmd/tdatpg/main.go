@@ -4,8 +4,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,62 +19,125 @@ import (
 	"fogbuster/internal/sim"
 )
 
-func main() {
-	nonRobust := flag.Bool("nonrobust", false, "use the non-robust fault model")
-	strict := flag.Bool("strict", false, "demand true synchronizing sequences")
-	localBT := flag.Int("local-backtracks", 100, "TDgen backtrack limit per fault")
-	seqBT := flag.Int("seq-backtracks", 100, "SEMILET backtrack limit per fault")
-	dump := flag.Bool("dump", false, "print every generated test sequence")
-	verbose := flag.Bool("v", false, "print the per-fault classification")
-	csvOut := flag.String("csv", "", "write the per-fault results and sequences to a CSV file")
-	varBudget := flag.Int("variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
-	workers := flag.Int("workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
-	orderFlag := flag.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
-	compactFlag := flag.Bool("compact", false, "compact the test set (reverse-order drop + overlap merge) after generation")
-	flag.Parse()
+// config is the parsed command line. It exists separately from main so
+// the tests can pin that every flag — the seed in particular — actually
+// reaches the engine options.
+type config struct {
+	nonRobust bool
+	strict    bool
+	localBT   int
+	seqBT     int
+	dump      bool
+	verbose   bool
+	csvOut    string
+	varBudget int
+	workers   int
+	compact   bool
+	seed      int64
+	heur      order.Heuristic
+	bench     string
+}
 
+// errUsage marks a command-line error whose message was already printed.
+var errUsage = errors.New("usage error")
+
+// parseArgs parses the command line into a config. Errors (including
+// -h/-help) are reported on stderr; the caller only needs the exit code.
+func parseArgs(argv []string, stderr io.Writer) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("tdatpg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&cfg.nonRobust, "nonrobust", false, "use the non-robust fault model")
+	fs.BoolVar(&cfg.strict, "strict", false, "demand true synchronizing sequences")
+	fs.IntVar(&cfg.localBT, "local-backtracks", 100, "TDgen backtrack limit per fault")
+	fs.IntVar(&cfg.seqBT, "seq-backtracks", 100, "SEMILET backtrack limit per fault")
+	fs.BoolVar(&cfg.dump, "dump", false, "print every generated test sequence")
+	fs.BoolVar(&cfg.verbose, "v", false, "print the per-fault classification")
+	fs.StringVar(&cfg.csvOut, "csv", "", "write the per-fault results and sequences to a CSV file")
+	fs.IntVar(&cfg.varBudget, "variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
+	fs.IntVar(&cfg.workers, "workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
+	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one Summary, at any worker count)")
+	fs.BoolVar(&cfg.compact, "compact", false, "compact the test set (reverse-order drop + overlap merge) after generation")
+	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
 	heur, err := order.Parse(*orderFlag)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+		fmt.Fprintf(stderr, "tdatpg: %v\n", err)
+		return nil, errUsage
+	}
+	cfg.heur = heur
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tdatpg [flags] circuit.bench")
+		fs.PrintDefaults()
+		return nil, errUsage
+	}
+	cfg.bench = fs.Arg(0)
+	return cfg, nil
+}
+
+// algebra resolves the fault model flag.
+func (cfg *config) algebra() *logic.Algebra {
+	if cfg.nonRobust {
+		return logic.NonRobust
+	}
+	return logic.Robust
+}
+
+// engineOptions translates the command line into the engine options.
+func (cfg *config) engineOptions() core.Options {
+	return core.Options{
+		Algebra:         cfg.algebra(),
+		LocalBacktracks: cfg.localBT,
+		SeqBacktracks:   cfg.seqBT,
+		StrictInit:      cfg.strict,
+		VariationBudget: cfg.varBudget,
+		Seed:            cfg.seed,
+		Workers:         cfg.workers,
+		Order:           cfg.heur,
+		Compact:         cfg.compact,
+	}
+}
+
+// compactOptions translates the command line into the compaction options;
+// the seed must match the engine's so the splice fills are reproducible.
+func (cfg *config) compactOptions() compact.Options {
+	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed}
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
 		os.Exit(2)
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tdatpg [flags] circuit.bench")
-		flag.PrintDefaults()
-		os.Exit(2)
-	}
-	data, err := os.ReadFile(flag.Arg(0))
+	data, err := os.ReadFile(cfg.bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
 		os.Exit(1)
 	}
-	c, err := netlist.Parse(flag.Arg(0), string(data))
+	c, err := netlist.Parse(cfg.bench, string(data))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
 		os.Exit(1)
 	}
 
-	alg := logic.Robust
-	if *nonRobust {
-		alg = logic.NonRobust
-	}
-	sum := core.New(c, core.Options{
-		Algebra:         alg,
-		LocalBacktracks: *localBT,
-		SeqBacktracks:   *seqBT,
-		StrictInit:      *strict,
-		VariationBudget: *varBudget,
-		Workers:         *workers,
-		Order:           heur,
-		Compact:         *compactFlag,
-	}).Run()
-	if *compactFlag {
-		compact.Apply(c, sum, compact.Options{Algebra: alg})
+	sum := core.New(c, cfg.engineOptions()).Run()
+	var st *core.CompactionStats
+	if cfg.compact {
+		st = compact.Apply(c, sum, cfg.compactOptions())
+		if !st.Complete {
+			fmt.Fprintln(os.Stderr, "tdatpg: compaction refused: recorded detection sets are absent or incomplete")
+			os.Exit(1)
+		}
 	}
 
-	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
+	if cfg.csvOut != "" {
+		f, err := os.Create(cfg.csvOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
 			os.Exit(1)
@@ -90,20 +155,20 @@ func main() {
 	fmt.Println(c.Stats())
 	fmt.Printf("model=%s order=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
 		sum.Algebra, sum.Order, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime)
-	if st := sum.Compaction; st != nil {
+	if st != nil {
 		fmt.Printf("compaction: vectors %d -> %d, sequences %d -> %d (%d dropped, %d pairs spliced saving %d vectors)\n",
 			st.PatternsBefore, st.PatternsAfter, st.Sequences, st.Kept, st.Dropped, st.Splices, st.SplicedFrames)
 	}
 	if sum.ValidationFailures > 0 {
 		fmt.Printf("WARNING: %d sequences failed independent validation\n", sum.ValidationFailures)
 	}
-	if *verbose || *dump {
+	if cfg.verbose || cfg.dump {
 		for _, r := range sum.Results {
-			if !*verbose && r.Seq == nil {
+			if !cfg.verbose && r.Seq == nil {
 				continue
 			}
 			fmt.Printf("%-24s %s\n", r.Fault.Name(c), r.Status)
-			if *dump && r.Seq != nil {
+			if cfg.dump && r.Seq != nil {
 				printSeq(r.Seq)
 			}
 		}

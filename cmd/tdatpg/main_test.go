@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fogbuster/internal/order"
+)
+
+// TestSeedFlagReachesEngine pins the -seed satellite fix: the flag value
+// must land in core.Options.Seed AND in the compaction options, because
+// the X-fill streams, the ADI ordering campaign and the splice fills are
+// all derived from it.
+func TestSeedFlagReachesEngine(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-seed", "12345", "-order", "adi", "-compact", "circuit.bench"}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	opts := cfg.engineOptions()
+	if opts.Seed != 12345 {
+		t.Fatalf("engine Seed = %d, want 12345", opts.Seed)
+	}
+	if co := cfg.compactOptions(); co.Seed != 12345 {
+		t.Fatalf("compaction Seed = %d, want 12345", co.Seed)
+	}
+	if opts.Order != order.ADI {
+		t.Fatalf("engine Order = %q, want adi", opts.Order)
+	}
+	if !opts.Compact {
+		t.Fatal("engine Compact not set")
+	}
+	if cfg.bench != "circuit.bench" {
+		t.Fatalf("bench arg = %q", cfg.bench)
+	}
+}
+
+// TestDefaultSeedIsZero: without -seed the engine keeps the fixed
+// default seed, preserving pre-flag reproducibility.
+func TestDefaultSeedIsZero(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"circuit.bench"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.engineOptions().Seed; got != 0 {
+		t.Fatalf("default Seed = %d, want 0", got)
+	}
+}
+
+// TestParseArgsRejectsBadUsage: unknown orders and missing netlist
+// arguments are reported, never silently defaulted.
+func TestParseArgsRejectsBadUsage(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseArgs([]string{"-order", "bogus", "circuit.bench"}, &stderr); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Fatalf("order error not reported: %q", stderr.String())
+	}
+	stderr.Reset()
+	if _, err := parseArgs([]string{"-seed", "1"}, &stderr); err == nil {
+		t.Fatal("missing netlist argument accepted")
+	}
+	if !strings.Contains(stderr.String(), "usage") {
+		t.Fatalf("usage not printed: %q", stderr.String())
+	}
+}

@@ -76,6 +76,7 @@ func Apply(c *netlist.Circuit, sum *core.Summary, opts Options) *core.Compaction
 	}
 
 	kept, assigned, complete := reverseDrop(sum, seqs, index, stats)
+	stats.Complete = complete
 	// Splicing rewrites frames and re-confirms only the faults assigned
 	// to the pair, so it is sound only when the assignment covers every
 	// detected fault. A summary produced without Options.Compact lacks

@@ -46,6 +46,9 @@ func TestCompactionInvariants(t *testing.T) {
 		if st.Kept+st.Dropped != st.Sequences {
 			t.Errorf("%s: kept %d + dropped %d != sequences %d", name, st.Kept, st.Dropped, st.Sequences)
 		}
+		if !st.Complete {
+			t.Errorf("%s: recorded detection sets should cover every detected fault", name)
+		}
 		if st.PatternsAfter > st.PatternsBefore {
 			t.Errorf("%s: compaction grew the test set: %d -> %d", name, st.PatternsBefore, st.PatternsAfter)
 		}
@@ -76,6 +79,9 @@ func TestApplyWithoutRecordedDetects(t *testing.T) {
 	st := Apply(c, sum, Options{})
 	if st.Dropped != 0 || st.Splices != 0 || st.PatternsAfter != st.PatternsBefore {
 		t.Fatalf("summary without recorded detection sets was mutated: %+v", *st)
+	}
+	if st.Complete {
+		t.Fatal("stats claim complete coverage without recorded detection sets (CLIs use this flag to exit non-zero)")
 	}
 }
 

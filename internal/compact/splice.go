@@ -48,8 +48,9 @@ func pairSeed(seed int64, pair int) int64 {
 
 // applier replays candidate splices on the concrete simulators.
 type applier struct {
-	net *sim.Net
-	td  *tdsim.Sim
+	net      *sim.Net
+	td       *tdsim.Sim
+	verdicts []bool // ConfirmBatch scratch
 }
 
 // trySplice attempts the widest acceptable overlap between A's
@@ -176,7 +177,9 @@ func fillState(state []sim.V3, rng *rand.Rand) {
 }
 
 // confirmAll runs the exact eight-valued confirmation for every fault
-// in the cover against the concrete frame.
+// in the cover against the concrete frame, on the word-parallel path
+// (64 faults per machine word; verdicts are bit-identical to scalar
+// tdsim.Confirm, so acceptance decisions are unchanged).
 func (ap *applier) confirmAll(ff *tdsim.FastFrame, cover []faults.Delay) bool {
 	vals := ap.td.Values(ff)
 	ppos := ap.net.C.PPOs()
@@ -184,8 +187,13 @@ func (ap *applier) confirmAll(ff *tdsim.FastFrame, cover []faults.Delay) bool {
 	for i, ppo := range ppos {
 		goodS2[i] = sim.V3(vals[ppo].Final())
 	}
-	for _, f := range cover {
-		if !ap.td.Confirm(ff, vals, goodS2, f) {
+	if cap(ap.verdicts) < len(cover) {
+		ap.verdicts = make([]bool, len(cover))
+	}
+	out := ap.verdicts[:len(cover)]
+	ap.td.ConfirmBatch(ff, vals, goodS2, cover, out)
+	for _, ok := range out {
+		if !ok {
 			return false
 		}
 	}

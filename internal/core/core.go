@@ -122,6 +122,13 @@ type Options struct {
 	// index), and results remain bit-identical at every worker count for
 	// a given ordering.
 	Order order.Heuristic
+	// ScalarCredit runs the post-generation credit sweep on the scalar
+	// reference path (one eight-valued confirmation per candidate)
+	// instead of the word-parallel default (64 candidates per machine
+	// word, see tdsim.ConfirmBatch). The two paths produce bit-identical
+	// summaries — TestBatchedCreditInvariance pins it — so the knob
+	// exists only for differential testing and benchmarking.
+	ScalarCredit bool
 	// Compact records the full detection set of every generated sequence
 	// (TestSequence.Detects) and the generation order (Summary.SeqOrder)
 	// so that internal/compact can drop and splice sequences after the
@@ -227,6 +234,12 @@ type CompactionStats struct {
 	PatternsAfter  int // total vectors after dropping and splicing
 	Splices        int // adjacent sequence pairs overlap-merged
 	SplicedFrames  int // vectors saved by the overlap merges
+	// Complete reports whether the recorded detection sets covered every
+	// detected fault. On a summary produced without Options.Compact the
+	// sets are absent, coverage is incomplete, and compact.Apply refuses
+	// to splice (the reverse-order drop still ran); callers should treat
+	// false as a refusal.
+	Complete bool
 }
 
 // Engine runs the combined flow over a circuit. The per-fault search

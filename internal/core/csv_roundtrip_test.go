@@ -1,0 +1,110 @@
+package core_test
+
+// External test package: it exercises the CSV report of a compacted run
+// through internal/compact, which imports core.
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/compact"
+	"fogbuster/internal/core"
+)
+
+// TestCSVRoundTripCompacted pins the machine-readable report of a
+// compacted run: the dropped and follows columns written for a summary
+// with dropped and spliced sequences must parse back to exactly the
+// summary's drop set and Follows markers.
+func TestCSVRoundTripCompacted(t *testing.T) {
+	c := bench.ProfileByName("s386").Circuit()
+	sum := core.New(c, core.Options{Compact: true}).Run()
+	st := compact.Apply(c, sum, compact.Options{})
+	if !st.Complete {
+		t.Fatal("compaction refused despite Options.Compact")
+	}
+	if st.Dropped == 0 {
+		t.Fatal("no dropped sequences on s386; round-trip test has no signal")
+	}
+	if st.Splices == 0 {
+		t.Log("no splices accepted on s386; follows round-trip covers the empty case only")
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteCSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sum.Results)+1 {
+		t.Fatalf("CSV has %d rows, want %d faults + header", len(rows), len(sum.Results))
+	}
+	col := make(map[string]int, len(rows[0]))
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"fault", "dropped", "follows"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("CSV header misses %q: %v", name, rows[0])
+		}
+	}
+
+	gotDropped := make(map[string]bool)
+	gotFollows := make(map[string]string)
+	for _, rec := range rows[1:] {
+		fault := rec[col["fault"]]
+		if d := rec[col["dropped"]]; d != "" {
+			v, err := strconv.ParseBool(d)
+			if err != nil {
+				t.Fatalf("fault %s: unparsable dropped column %q", fault, d)
+			}
+			if v {
+				gotDropped[fault] = true
+			}
+		}
+		if f := rec[col["follows"]]; f != "" {
+			gotFollows[fault] = f
+		}
+	}
+
+	wantDropped, wantFollows, splices := 0, 0, 0
+	for _, r := range sum.Results {
+		if r.Seq == nil {
+			continue
+		}
+		name := r.Fault.Name(c)
+		if r.Seq.Dropped {
+			wantDropped++
+			if !gotDropped[name] {
+				t.Errorf("dropped sequence %s not marked in the CSV", name)
+			}
+		} else if gotDropped[name] {
+			t.Errorf("kept sequence %s marked dropped in the CSV", name)
+		}
+		if r.Seq.Follows != nil {
+			wantFollows++
+			splices++
+			if got := gotFollows[name]; got != r.Seq.Follows.Name(c) {
+				t.Errorf("spliced sequence %s: CSV follows %q, want %q", name, got, r.Seq.Follows.Name(c))
+			}
+		} else if _, ok := gotFollows[name]; ok {
+			t.Errorf("unspliced sequence %s has a follows marker in the CSV", name)
+		}
+	}
+	if len(gotDropped) != wantDropped {
+		t.Errorf("CSV marks %d dropped sequences, summary has %d", len(gotDropped), wantDropped)
+	}
+	if len(gotFollows) != wantFollows {
+		t.Errorf("CSV marks %d spliced sequences, summary has %d", len(gotFollows), wantFollows)
+	}
+	if splices != st.Splices {
+		t.Errorf("summary carries %d Follows markers, stats report %d splices", splices, st.Splices)
+	}
+	if st.Dropped != wantDropped {
+		t.Errorf("stats report %d drops, summary carries %d", st.Dropped, wantDropped)
+	}
+}

@@ -78,6 +78,54 @@ func TestOrderingWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestBatchedCreditInvariance pins the word-parallel credit sweep into
+// the determinism contract: the batched path (the default) must produce
+// a Summary bit-identical to the scalar reference path
+// (Options.ScalarCredit) at every worker count, so batching — like
+// sharding — is purely an execution detail.
+func TestBatchedCreditInvariance(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		ref := summarize(New(c, Options{ScalarCredit: true, Workers: 1}).Run())
+		for _, workers := range []int{1, 4} {
+			got := summarize(New(c, Options{Workers: workers}).Run())
+			if got != ref {
+				t.Errorf("%s: batched credit (Workers=%d) diverged from the scalar reference:\n--- scalar\n%s--- batched\n%s",
+					name, workers, ref, got)
+			}
+		}
+		// Compact drops the skip filter and records full detection sets;
+		// the equivalence must hold there too, Detects included.
+		refC := New(c, Options{ScalarCredit: true, Workers: 1, Compact: true}).Run()
+		gotC := New(c, Options{Compact: true}).Run()
+		if a, b := summarize(refC), summarize(gotC); a != b {
+			t.Errorf("%s: batched credit diverged under Compact:\n--- scalar\n%s--- batched\n%s", name, a, b)
+			continue
+		}
+		for i := range refC.Results {
+			ra, rb := refC.Results[i].Seq, gotC.Results[i].Seq
+			if (ra == nil) != (rb == nil) {
+				t.Fatalf("%s: sequence presence differs at fault %d", name, i)
+			}
+			if ra == nil {
+				continue
+			}
+			if len(ra.Detects) != len(rb.Detects) {
+				t.Errorf("%s fault %d: scalar recorded %d detections, batched %d",
+					name, i, len(ra.Detects), len(rb.Detects))
+				continue
+			}
+			for j := range ra.Detects {
+				if ra.Detects[j] != rb.Detects[j] {
+					t.Errorf("%s fault %d: detection %d differs: scalar %v, batched %v",
+						name, i, j, ra.Detects[j], rb.Detects[j])
+					break
+				}
+			}
+		}
+	}
+}
+
 // TestNewRejectsUnknownOrder pins the fail-fast contract: a
 // misspelled heuristic must not silently run the natural order under
 // the wrong label.

@@ -92,7 +92,11 @@ func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, nex
 				skip = nil
 			}
 			ff := w.fastFrame(o.seq)
-			o.detected = w.td.Detect(ff, skip)
+			if w.e.opts.ScalarCredit {
+				o.detected = w.td.DetectScalar(ff, skip)
+			} else {
+				o.detected = w.td.Detect(ff, skip)
+			}
 		}
 		results <- o
 	}

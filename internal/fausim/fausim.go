@@ -93,6 +93,54 @@ func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int
 	return -1, -1
 }
 
+// PairDiffBatch resolves up to 64 good/faulty state pairs in one replay
+// of the propagation frames: machine k starts from the fully specified
+// faulty state whose flip-flop i value is bit k of faultyV[i], and is
+// compared frame by frame against the precomputed good replay (goods
+// must be GoodReplay(goodState, vectors) for the shared good state).
+// live selects the machines to resolve; the returned word marks the
+// machines with a provable good/faulty PO difference in some frame —
+// per machine exactly the PairDiff verdict (frame >= 0), because the
+// dual-rail evaluation is bit-exact against the scalar three-valued
+// simulation and a once-detected machine stays detected. The frame loop
+// stops as soon as every live machine is resolved.
+func (s *Sim) PairDiffBatch(goods []sim.Step, faultyV []sim.Word, live sim.Word, vectors [][]sim.V3) sim.Word {
+	frame, _ := s.scratch64()
+	stateV, stateK := s.stateV, s.stateK
+	for i := range s.net.C.DFFs {
+		stateV[i], stateK[i] = faultyV[i], sim.AllOnes
+	}
+	var detected sim.Word
+	for fi, vec := range vectors {
+		s.net.LoadFrame64DR(frame, vec, nil)
+		for i, ff := range s.net.C.DFFs {
+			frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
+		}
+		s.net.Eval64DR(frame, nil)
+		for p, po := range s.net.C.POs {
+			good := goods[fi].Outputs[p]
+			if !good.Known() {
+				continue
+			}
+			gw, _ := sim.Broadcast64(good)
+			diff := (frame.V[po] ^ gw) & frame.K[po] & live
+			if diff == 0 {
+				continue
+			}
+			detected |= diff
+			live &^= diff
+			if live == 0 {
+				return detected
+			}
+		}
+		s.net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		stateV, stateK = s.scratchV, s.scratchK
+		s.scratchV, s.scratchK = s.stateV, s.stateK
+		s.stateV, s.stateK = stateV, stateK
+	}
+	return detected
+}
+
 // ObservablePPOs performs the paper's phase-2 analysis: for every flip-flop
 // index whose captured value could carry a fault effect (nonSteady), a
 // D is injected by flipping that state bit and the propagation vectors are

@@ -82,6 +82,51 @@ func TestPairDiffShiftRegister(t *testing.T) {
 	}
 }
 
+// TestPairDiffBatchMatchesScalar cross-checks the 64-way pair replay
+// against the scalar PairDiff verdict: 64 random fully specified faulty
+// states against one shared good state, over random propagation vectors,
+// on a sequential bench circuit.
+func TestPairDiffBatchMatchesScalar(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	net := sim.NewNet(c)
+	s := New(net)
+	rng := rand.New(rand.NewSource(11))
+	bits := func(n int) []sim.V3 {
+		out := make([]sim.V3, n)
+		for i := range out {
+			out[i] = sim.V3(rng.Intn(2))
+		}
+		return out
+	}
+	for trial := 0; trial < 50; trial++ {
+		good := bits(len(c.DFFs))
+		var vectors [][]sim.V3
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			vectors = append(vectors, bits(len(c.PIs)))
+		}
+		faulty := make([][]sim.V3, 64)
+		faultyV := make([]sim.Word, len(c.DFFs))
+		for m := 0; m < 64; m++ {
+			faulty[m] = bits(len(c.DFFs))
+			for i, v := range faulty[m] {
+				if v == sim.Hi {
+					faultyV[i] |= sim.Word(1) << uint(m)
+				}
+			}
+		}
+		goods := s.GoodReplay(good, vectors)
+		detected := s.PairDiffBatch(goods, faultyV, sim.AllOnes, vectors)
+		for m := 0; m < 64; m++ {
+			frame, po := s.PairDiff(good, faulty[m], vectors)
+			want := frame >= 0 && po >= 0
+			if got := detected&(sim.Word(1)<<uint(m)) != 0; got != want {
+				t.Fatalf("trial %d machine %d: batched %v, scalar %v (frame %d po %d)",
+					trial, m, got, want, frame, po)
+			}
+		}
+	}
+}
+
 // TestObservablePPOs: in the shift register every stage is observable
 // given enough frames, and none is observable with too few.
 func TestObservablePPOs(t *testing.T) {

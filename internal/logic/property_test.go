@@ -60,6 +60,42 @@ func TestEvalSetSoundnessProperty(t *testing.T) {
 	}
 }
 
+// TestPlainCarryInvariance pins the invariant the 64-way batched credit
+// simulation is built on (internal/sim's carry-rail encoding): the plain
+// part of every gate output is a function of the plain parts of the
+// inputs alone — attaching the fault-effect flag to an input can set or
+// clear the output's flag, but never changes its initial value, final
+// value or hazard. Because of this, 64 delay fault machines over one
+// fully specified two-frame situation share a single scalar value per
+// node and differ only in a 64-bit carry word.
+func TestPlainCarryInvariance(t *testing.T) {
+	for _, alg := range []*Algebra{Robust, NonRobust} {
+		for x := Value(0); x < NumValues; x++ {
+			if plain := alg.Not(x).Plain(); plain != alg.Not(x.Plain()) {
+				t.Errorf("%s: plain(not %s) = %s, want %s", alg.Name(), x, plain, alg.Not(x.Plain()))
+			}
+			for y := Value(0); y < NumValues; y++ {
+				type op struct {
+					name string
+					f    func(a, b Value) Value
+				}
+				for _, o := range []op{{"and", alg.And}, {"or", alg.Or}, {"xor", alg.Xor}} {
+					if plain := o.f(x, y).Plain(); plain != o.f(x.Plain(), y.Plain()) {
+						t.Errorf("%s: plain(%s(%s,%s)) = %s, want %s",
+							alg.Name(), o.name, x, y, plain, o.f(x.Plain(), y.Plain()))
+					}
+					// A surviving fault effect always sits on a transition
+					// value, so the carry rail's WithCarry conversions are
+					// total.
+					if out := o.f(x, y); out.Carrying() && !out.HasTransition() {
+						t.Errorf("%s: %s(%s,%s) = %s carries without a transition", alg.Name(), o.name, x, y, out)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestDeMorganProperty: the OR table is the exact De Morgan dual of AND in
 // both algebras, for sets as well as values.
 func TestDeMorganProperty(t *testing.T) {

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+)
+
+// This file implements the 64-way batched counterpart of Eval8: the carry
+// rail of the eight-valued two-frame evaluation for 64 independent delay
+// fault machines per word.
+//
+// The encoding rests on an invariant of the algebra (pinned by
+// internal/logic's TestPlainCarryInvariance): the plain part of every
+// gate output — initial value, final value, hazard — is a function of the
+// plain parts of the inputs alone. A delay fault injection converts a
+// clean transition into the matching carrying value without touching the
+// plain part, so across all 64 faulty machines of a fully specified
+// two-frame situation every node has ONE shared plain value (the
+// fault-free Eval8 result) and differs only in the fault-effect flag.
+// The batched evaluation therefore propagates a single 64-bit carry word
+// per node — bit k is machine k's fault-effect flag — against the scalar
+// fault-free values, instead of re-evaluating the whole algebra 64 times.
+//
+// Per fold step of a gate the four carry combinations of (accumulator,
+// input) map to at most three scalar table lookups, broadcast as masks:
+// the algebra's own 2-input tables decide whether a carrying accumulator,
+// a carrying input, or both keep the effect alive, which makes the word
+// path bit-identical to the scalar left fold by construction.
+
+// InjectDelay64 is the 64-way delay fault injector: each of the 64
+// machines may own one fault site (stem or fanout branch) and one
+// polarity, the parallel-fault generalization of InjectDelay. Build one
+// per Net and Reset it between batches; the mask arrays are indexed by
+// node (stems) and by flat edge (branches), so the hot evaluation loop
+// needs no map lookups.
+type InjectDelay64 struct {
+	net       *Net
+	stemRise  []Word // per node: machines injecting slow-to-rise at the stem
+	stemFall  []Word // per node: machines injecting slow-to-fall at the stem
+	edgeRise  []Word // per edge: machines injecting slow-to-rise on the connection
+	edgeFall  []Word // per edge: machines injecting slow-to-fall on the connection
+	stemNodes []netlist.NodeID
+	edges     []int
+	hasStem   bool
+	hasBranch bool
+}
+
+// NewInjectDelay64 builds an empty injector for the circuit.
+func (n *Net) NewInjectDelay64() *InjectDelay64 {
+	return &InjectDelay64{
+		net:      n,
+		stemRise: make([]Word, len(n.C.Nodes)),
+		stemFall: make([]Word, len(n.C.Nodes)),
+		edgeRise: make([]Word, n.numEdges),
+		edgeFall: make([]Word, n.numEdges),
+	}
+}
+
+// Reset clears all injections for the next batch.
+func (i *InjectDelay64) Reset() {
+	for _, id := range i.stemNodes {
+		i.stemRise[id], i.stemFall[id] = 0, 0
+	}
+	i.stemNodes = i.stemNodes[:0]
+	for _, e := range i.edges {
+		i.edgeRise[e], i.edgeFall[e] = 0, 0
+	}
+	i.edges = i.edges[:0]
+	i.hasStem, i.hasBranch = false, false
+}
+
+// Add makes machine bit (0..63) inject a delay fault of the given
+// polarity at line l, mirroring InjectDelay semantics: the conversion of
+// the clean transition into the carrying value happens only at the fault
+// location (stem: the node's own value; branch: the one connection).
+func (i *InjectDelay64) Add(bit uint, l netlist.Line, slowToRise bool) {
+	m := Word(1) << bit
+	if l.IsStem() {
+		if i.stemRise[l.Node]|i.stemFall[l.Node] == 0 {
+			i.stemNodes = append(i.stemNodes, l.Node)
+		}
+		if slowToRise {
+			i.stemRise[l.Node] |= m
+		} else {
+			i.stemFall[l.Node] |= m
+		}
+		i.hasStem = true
+		return
+	}
+	c := i.net.C
+	consumer := c.Nodes[l.Node].Fanout[l.Branch]
+	for pos, in := range c.Nodes[consumer].Fanin {
+		if in == l.Node && int(i.net.faninBranch[consumer][pos]) == l.Branch {
+			e := i.net.EdgeOf(consumer, pos)
+			if i.edgeRise[e]|i.edgeFall[e] == 0 {
+				i.edges = append(i.edges, e)
+			}
+			if slowToRise {
+				i.edgeRise[e] |= m
+			} else {
+				i.edgeFall[e] |= m
+			}
+			i.hasBranch = true
+			return
+		}
+	}
+	panic("sim: InjectDelay64 branch line without a matching connection")
+}
+
+// excite returns the machines whose injection is excited by the plain
+// fault-free value v at the site: slow-to-rise machines when v rises,
+// slow-to-fall machines when v falls (the batched form of
+// InjectDelay.apply, which converts R into Rc and F into Fc).
+func excite(rise, fall Word, v logic.Value) Word {
+	switch v {
+	case logic.Rise:
+		return rise
+	case logic.Fall:
+		return fall
+	}
+	return 0
+}
+
+func (i *InjectDelay64) stemExcite(id netlist.NodeID, v logic.Value) Word {
+	return excite(i.stemRise[id], i.stemFall[id], v)
+}
+
+func (i *InjectDelay64) edgeExcite(e int, v logic.Value) Word {
+	return excite(i.edgeRise[e], i.edgeFall[e], v)
+}
+
+// core2 applies the gate type's 2-input core operation (the fold step of
+// logic.Algebra.Eval, without the trailing inversion, which preserves the
+// carry flag and is therefore irrelevant to the carry rail).
+func core2(alg *logic.Algebra, t netlist.GateType, x, y logic.Value) logic.Value {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return alg.And(x, y)
+	case netlist.Or, netlist.Nor:
+		return alg.Or(x, y)
+	case netlist.Xor, netlist.Xnor:
+		return alg.Xor(x, y)
+	default:
+		panic("sim: core2 on non-folding gate " + t.String())
+	}
+}
+
+// carryStep combines one fold step's carry words. p and q are the plain
+// accumulator and input values shared by all machines; Cp and Cq their
+// carry words. For each of the three carry combinations the algebra's
+// scalar table decides whether the effect survives, so the result is
+// bit-identical to folding the scalar eight-valued table per machine. A
+// set carry bit always sits on a transition value (injection excites only
+// R and F, and the tables never attach the effect to a non-transition),
+// so the WithCarry conversions below cannot panic.
+func carryStep(alg *logic.Algebra, t netlist.GateType, p, q logic.Value, Cp, Cq Word) Word {
+	if Cp|Cq == 0 {
+		return 0
+	}
+	var out Word
+	if m := Cp & Cq; m != 0 && core2(alg, t, p.WithCarry(), q.WithCarry()).Carrying() {
+		out |= m
+	}
+	if m := Cp &^ Cq; m != 0 && core2(alg, t, p.WithCarry(), q).Carrying() {
+		out |= m
+	}
+	if m := Cq &^ Cp; m != 0 && core2(alg, t, p, q.WithCarry()).Carrying() {
+		out |= m
+	}
+	return out
+}
+
+// EvalCarry64 evaluates the carry rail of the eight-valued two-frame
+// algebra for 64 delay fault machines at once. vals must hold the
+// fault-free values of a fully specified frame (Eval8 with nil
+// injection); C must have len(Nodes) entries and is fully overwritten:
+// bit k of C[id] is machine k's fault-effect flag at node id, exactly the
+// Carrying() bit a scalar Eval8 with machine k's InjectDelay would
+// produce. The injector must be non-nil (Reset it for an empty batch).
+func (n *Net) EvalCarry64(alg *logic.Algebra, vals []logic.Value, C []Word, inj *InjectDelay64) {
+	c := n.C
+	for _, pi := range c.PIs {
+		C[pi] = 0
+	}
+	for _, ff := range c.DFFs {
+		C[ff] = 0
+	}
+	if inj.hasStem {
+		// A stem injection on a PI or PPI converts the source value before
+		// any consumer reads it (cf. Eval8).
+		for _, id := range inj.stemNodes {
+			if t := c.Nodes[id].Type; t == netlist.Input || t == netlist.DFF {
+				C[id] |= inj.stemExcite(id, vals[id])
+			}
+		}
+	}
+	// cbuf reuses the Net's 64-way fanin scratch (EvalCarry64 never runs
+	// concurrently with the dual-rail evaluators on one Net).
+	cbuf := n.ins64[:n.maxFanin]
+	for _, id := range c.GateOrder() {
+		node := &c.Nodes[id]
+		nin := len(node.Fanin)
+		var any Word
+		for pos, in := range node.Fanin {
+			cw := C[in]
+			if inj.hasBranch {
+				if e := n.EdgeOf(id, pos); inj.edgeRise[e]|inj.edgeFall[e] != 0 {
+					cw |= inj.edgeExcite(e, vals[in])
+				}
+			}
+			cbuf[pos] = cw
+			any |= cw
+		}
+		accC := cbuf[0]
+		if any != 0 && nin > 1 {
+			// Left fold mirroring logic.Algebra.Eval: the plain accumulator
+			// is recomputed scalar (it is machine-independent), the carry
+			// word folds through carryStep. Buf/Not/DFF and 1-input gates
+			// pass the carry through unchanged, like the scalar tables.
+			// Gates without a carrying input skip the fold entirely — no
+			// machine can gain the effect there, and the plain table
+			// lookups are the dominant per-chunk cost on large circuits.
+			accP := vals[node.Fanin[0]]
+			for pos := 1; pos < nin; pos++ {
+				inP := vals[node.Fanin[pos]]
+				accC = carryStep(alg, node.Type, accP, inP, accC, cbuf[pos])
+				accP = core2(alg, node.Type, accP, inP)
+			}
+		}
+		if inj.hasStem && inj.stemRise[id]|inj.stemFall[id] != 0 {
+			accC |= inj.stemExcite(id, vals[id])
+		}
+		C[id] = accC
+	}
+}
+
+// NextStateCarry64 derives the faulty captured state of all 64 machines
+// after EvalCarry64, the batched form of the capture rule in
+// tdsim.Confirm: a carrying PPO captures its initial value at the fast
+// edge, a fault-free one its final value. faultyV must have len(DFFs)
+// entries; bit k of faultyV[i] is machine k's captured value of flip-flop
+// i (fully specified, because the frame is). The returned word marks the
+// machines whose effect was captured at one or more PPOs.
+func (n *Net) NextStateCarry64(vals []logic.Value, C []Word, inj *InjectDelay64, faultyV []Word) Word {
+	c := n.C
+	var carried Word
+	for i, ff := range c.DFFs {
+		d := c.Nodes[ff].Fanin[0]
+		cw := C[d]
+		if inj.hasBranch {
+			if e := n.EdgeOf(ff, 0); inj.edgeRise[e]|inj.edgeFall[e] != 0 {
+				cw |= inj.edgeExcite(e, vals[d])
+			}
+		}
+		var bInit, bFin Word
+		if vals[d].Initial() == 1 {
+			bInit = AllOnes
+		}
+		if vals[d].Final() == 1 {
+			bFin = AllOnes
+		}
+		faultyV[i] = (cw & bInit) | (^cw & bFin)
+		carried |= cw
+	}
+	return carried
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fogbuster/internal/faults"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+)
+
+// delayTestCircuit builds a small sequential circuit with reconvergent
+// fanout, XOR, and branch fault sites — every construct the carry rail
+// has special rules for.
+func delayTestCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	b := netlist.NewBuilder("delay64")
+	b.Input("a")
+	b.Input("b")
+	b.Input("c")
+	b.DFF("q", "d")
+	b.Gate("na", netlist.Not, "a")
+	b.Gate("g1", netlist.And, "na", "b")
+	b.Gate("g2", netlist.Or, "na", "c")   // na fans out: branch sites
+	b.Gate("g3", netlist.Xor, "g1", "g2") // reconvergence through XOR
+	b.Gate("g4", netlist.Nand, "g3", "q")
+	b.Gate("d", netlist.Nor, "g3", "c")
+	b.Output("g4")
+	b.Output("g2")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEvalCarry64MatchesEval8 cross-checks the batched carry rail
+// bit-for-bit against the scalar eight-valued evaluation: for random
+// fully specified two-frame situations and random 64-fault batches,
+// machine k's carry bit at every node must equal the Carrying() flag of
+// a scalar Eval8 run with machine k's injection, and the batched faulty
+// capture words must equal the scalar capture rule, in both algebras.
+func TestEvalCarry64MatchesEval8(t *testing.T) {
+	c := delayTestCircuit(t)
+	net := NewNet(c)
+	all := faults.AllDelay(c)
+	rng := rand.New(rand.NewSource(64))
+	inj64 := net.NewInjectDelay64()
+	C := make([]Word, len(c.Nodes))
+	faultyV := make([]Word, len(c.DFFs))
+
+	bits := func(n int) []V3 {
+		out := make([]V3, n)
+		for i := range out {
+			out[i] = V3(rng.Intn(2))
+		}
+		return out
+	}
+	for _, alg := range []*logic.Algebra{logic.Robust, logic.NonRobust} {
+		for trial := 0; trial < 200; trial++ {
+			v1, v2 := bits(len(c.PIs)), bits(len(c.PIs))
+			s0, s1 := bits(len(c.DFFs)), bits(len(c.DFFs))
+			vals := net.LoadFrame8(v1, v2, s0, s1)
+			net.Eval8(alg, vals, nil)
+
+			batch := make([]faults.Delay, 1+rng.Intn(64))
+			for i := range batch {
+				batch[i] = all[rng.Intn(len(all))]
+			}
+			inj64.Reset()
+			for b, f := range batch {
+				inj64.Add(uint(b), f.Line, f.Type == faults.SlowToRise)
+			}
+			net.EvalCarry64(alg, vals, C, inj64)
+			carried := net.NextStateCarry64(vals, C, inj64, faultyV)
+
+			for b, f := range batch {
+				inj := &InjectDelay{Line: f.Line, SlowToRise: f.Type == faults.SlowToRise}
+				ref := net.LoadFrame8(v1, v2, s0, s1)
+				net.Eval8(alg, ref, inj)
+				bit := Word(1) << uint(b)
+				for id := range c.Nodes {
+					if got, want := C[id]&bit != 0, ref[id].Carrying(); got != want {
+						t.Fatalf("%s trial %d fault %v machine %d node %d: batched carry %v, scalar %v",
+							alg.Name(), trial, f, b, id, got, want)
+					}
+				}
+				next := net.NextState8(ref, inj)
+				wantCarried := false
+				for i, w := range next {
+					var wantV uint8
+					if w.Carrying() {
+						wantV = w.Initial()
+						wantCarried = true
+					} else {
+						wantV = w.Final()
+					}
+					if got := faultyV[i]&bit != 0; got != (wantV == 1) {
+						t.Fatalf("%s trial %d fault %v machine %d FF %d: batched capture %v, scalar %d",
+							alg.Name(), trial, f, b, i, got, wantV)
+					}
+				}
+				if got := carried&bit != 0; got != wantCarried {
+					t.Fatalf("%s trial %d fault %v machine %d: batched carried %v, scalar %v",
+						alg.Name(), trial, f, b, got, wantCarried)
+				}
+			}
+		}
+	}
+}
+
+// TestInjectDelay64Reset pins that Reset really clears both stem and
+// branch masks: a second batch must not inherit the first batch's sites.
+func TestInjectDelay64Reset(t *testing.T) {
+	c := delayTestCircuit(t)
+	net := NewNet(c)
+	inj := net.NewInjectDelay64()
+	for _, l := range c.Lines() {
+		inj.Add(0, l, true)
+	}
+	inj.Reset()
+	for id := range c.Nodes {
+		if inj.stemRise[id]|inj.stemFall[id] != 0 {
+			t.Fatalf("stem masks of node %d survived Reset", id)
+		}
+	}
+	for e := 0; e < net.NumEdges(); e++ {
+		if inj.edgeRise[e]|inj.edgeFall[e] != 0 {
+			t.Fatalf("edge masks of edge %d survived Reset", e)
+		}
+	}
+	if inj.hasStem || inj.hasBranch {
+		t.Fatal("has-flags survived Reset")
+	}
+}

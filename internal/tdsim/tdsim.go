@@ -12,6 +12,12 @@
 // with the corrupted captured state, which subsumes the paper's separate
 // invalidation CPT: a side effect that destroys a state value the
 // propagation relied on simply makes the replay lose the difference.
+//
+// Confirmation runs word-parallel by default: ConfirmBatch packs 64
+// candidates per machine word through the carry-rail encoding of the
+// eight-valued algebra (sim.EvalCarry64) and a batched dual-rail replay
+// (fausim.PairDiffBatch), with verdicts bit-identical to the scalar
+// Confirm, which remains the reference oracle (see DESIGN.md §6).
 package tdsim
 
 import (
@@ -36,6 +42,14 @@ type Sim struct {
 	vals8    []logic.Value
 	next8    []logic.Value
 	faultyS2 []sim.V3
+
+	// Scratch for the word-parallel credit path (ConfirmBatch): the
+	// per-node carry rail, the per-FF faulty capture words, the 64-way
+	// delay injector and the verdict buffer.
+	carry    []sim.Word
+	faultyV  []sim.Word
+	injD     *sim.InjectDelay64
+	verdicts []bool
 }
 
 // New builds the simulator.
@@ -47,6 +61,9 @@ func New(net *sim.Net, alg *logic.Algebra) *Sim {
 		vals8:    make([]logic.Value, len(net.C.Nodes)),
 		next8:    make([]logic.Value, len(net.C.DFFs)),
 		faultyS2: make([]sim.V3, len(net.C.DFFs)),
+		carry:    make([]sim.Word, len(net.C.Nodes)),
+		faultyV:  make([]sim.Word, len(net.C.DFFs)),
+		injD:     net.NewInjectDelay64(),
 	}
 }
 
@@ -70,8 +87,23 @@ func (s *Sim) Values(ff *FastFrame) []logic.Value {
 // Detect runs the phase-2/phase-3 analysis for one applied test and
 // returns the set of delay faults the test detects robustly. skip filters
 // faults that need no further simulation (already classified); it may be
-// nil.
+// nil. Candidates are confirmed by the word-parallel credit path
+// (ConfirmBatch, 64 candidates per machine word); the verdicts — and
+// with them the returned fault list — are bit-identical to the scalar
+// reference path DetectScalar.
 func (s *Sim) Detect(ff *FastFrame, skip func(faults.Delay) bool) []faults.Delay {
+	return s.detect(ff, skip, true)
+}
+
+// DetectScalar is the scalar reference path: identical analysis, but
+// every candidate is confirmed by an individual Confirm call. It exists
+// as the oracle for the differential tests and benchmarks of the batched
+// path.
+func (s *Sim) DetectScalar(ff *FastFrame, skip func(faults.Delay) bool) []faults.Delay {
+	return s.detect(ff, skip, false)
+}
+
+func (s *Sim) detect(ff *FastFrame, skip func(faults.Delay) bool, batched bool) []faults.Delay {
 	vals := s.Values(ff)
 
 	// Phase 2 (FAUSIM): which PPOs with a potential fault effect are
@@ -86,18 +118,86 @@ func (s *Sim) Detect(ff *FastFrame, skip func(faults.Delay) bool) []faults.Delay
 	obsPPO := s.fs.ObservablePPOs(goodS2, nonSteady, ff.Prop)
 
 	// Phase 3 (TDsim): critical path tracing from the POs and from the
-	// observable PPOs, then exact confirmation per candidate.
+	// observable PPOs, then exact confirmation per candidate. The skip
+	// filter runs before confirmation in both paths, preserving the
+	// candidate order, so scalar and batched confirmation see the same
+	// list.
 	cands := s.candidates(vals, obsPPO)
-	var detected []faults.Delay
-	for _, f := range cands {
-		if skip != nil && skip(f) {
-			continue
+	if skip != nil {
+		kept := cands[:0]
+		for _, f := range cands {
+			if !skip(f) {
+				kept = append(kept, f)
+			}
 		}
+		cands = kept
+	}
+	var detected []faults.Delay
+	if batched {
+		if cap(s.verdicts) < len(cands) {
+			s.verdicts = make([]bool, len(cands))
+		}
+		out := s.verdicts[:len(cands)]
+		s.ConfirmBatch(ff, vals, goodS2, cands, out)
+		for i, f := range cands {
+			if out[i] {
+				detected = append(detected, f)
+			}
+		}
+		return detected
+	}
+	for _, f := range cands {
 		if s.Confirm(ff, vals, goodS2, f) {
 			detected = append(detected, f)
 		}
 	}
 	return detected
+}
+
+// ConfirmBatch runs Confirm's exact decision for every candidate, 64
+// machines per word: one carry-rail evaluation of the fast frame per
+// batch (see sim.EvalCarry64 for the encoding), the batched capture
+// rule, and one 64-way dual-rail replay of the propagation frames for
+// the machines observed only at a PPO, against a good replay computed
+// once per call. out[i] receives the verdict for cands[i] and must hold
+// at least len(cands) entries; every verdict is bit-identical to the
+// corresponding scalar Confirm call (pinned by
+// TestConfirmBatchMatchesScalar).
+func (s *Sim) ConfirmBatch(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, cands []faults.Delay, out []bool) {
+	var goods []sim.Step
+	for base := 0; base < len(cands); base += 64 {
+		chunk := cands[base:]
+		if len(chunk) > 64 {
+			chunk = chunk[:64]
+		}
+		s.injD.Reset()
+		for b, f := range chunk {
+			s.injD.Add(uint(b), f.Line, f.Type == faults.SlowToRise)
+		}
+		s.net.EvalCarry64(s.alg, goodVals, s.carry, s.injD)
+
+		// Robust observation at a PO in the fast frame.
+		var det sim.Word
+		for _, po := range s.net.C.POs {
+			det |= s.carry[po]
+		}
+		// Observation through the state register: machines whose effect
+		// was captured at a PPO but missed every PO replay the
+		// propagation frames with their corrupted captured state, exactly
+		// Confirm's invalidation rule. Machines without an injection
+		// never set a carry bit, so the tail bits of a short final chunk
+		// stay silent.
+		carried := s.net.NextStateCarry64(goodVals, s.carry, s.injD, s.faultyV)
+		if need := carried &^ det; need != 0 && len(ff.Prop) > 0 {
+			if goods == nil {
+				goods = s.fs.GoodReplay(goodS2, ff.Prop)
+			}
+			det |= s.fs.PairDiffBatch(goods, s.faultyV, need, ff.Prop)
+		}
+		for b := range chunk {
+			out[base+b] = det&(sim.Word(1)<<uint(b)) != 0
+		}
+	}
 }
 
 // Confirm checks one fault exactly against the applied test: injection in
