@@ -320,18 +320,22 @@ func BenchmarkFaultSimCPT(b *testing.B) {
 	}
 }
 
-// BenchmarkCreditSweep contrasts the scalar and word-parallel credit
-// sweeps: one full Detect pass (CPT candidate generation plus exact
-// confirmation of every candidate, including the PPO-replay
-// invalidation) for one applied test. The batched variant packs 64
-// candidates per machine word through the carry-rail evaluation and the
-// dual-rail propagation replay (DESIGN.md §6); verdicts are
-// bit-identical, only wall-clock differs.
+// BenchmarkCreditSweep contrasts the credit-sweep execution paths: one
+// full Detect pass (CPT candidate generation plus exact confirmation of
+// every candidate, including the PPO-replay invalidation) for one
+// applied test, along two axes. scalar/batched is the word-parallel axis
+// (64 candidates per machine word, DESIGN.md §6); the -fulleval suffix
+// is the evaluation-substrate axis (full levelized walks instead of the
+// event-driven cone kernels, DESIGN.md §7). All four variants return
+// bit-identical fault lists; only wall-clock differs.
 func BenchmarkCreditSweep(b *testing.B) {
 	for _, name := range []string{"s386", "s641", "s1196", "s1238"} {
 		c := bench.ProfileByName(name).Circuit()
 		net := sim.NewNet(c)
 		td := tdsim.New(net, logic.Robust)
+		netFull := sim.NewNet(c)
+		tdFull := tdsim.New(netFull, logic.Robust)
+		tdFull.SetFullEval(true)
 		rng := rand.New(rand.NewSource(6))
 		bits := func(n int) []sim.V3 {
 			out := make([]sim.V3, n)
@@ -347,25 +351,82 @@ func BenchmarkCreditSweep(b *testing.B) {
 			V1: v1, V2: bits(len(c.PIs)), S0: s0, S1: net.NextState3(f1, nil),
 			Prop: [][]sim.V3{bits(len(c.PIs)), bits(len(c.PIs)), bits(len(c.PIs))},
 		}
-		var scalarN, batchedN int
-		ranScalar, ranBatched := false, false
-		b.Run(name+"/scalar", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				scalarN = len(td.DetectScalar(ff, nil))
+		counts := map[string]int{}
+		variants := []struct {
+			label string
+			sweep func() int
+		}{
+			{"scalar", func() int { return len(td.DetectScalar(ff, nil)) }},
+			{"batched", func() int { return len(td.Detect(ff, nil)) }},
+			{"scalar-fulleval", func() int { return len(tdFull.DetectScalar(ff, nil)) }},
+			{"batched-fulleval", func() int { return len(tdFull.Detect(ff, nil)) }},
+		}
+		for _, v := range variants {
+			v := v
+			b.Run(name+"/"+v.label, func(b *testing.B) {
+				n := 0
+				for i := 0; i < b.N; i++ {
+					n = v.sweep()
+				}
+				counts[v.label] = n
+				b.ReportMetric(float64(n), "detected")
+			})
+		}
+		// Only cross-check the variants a -bench filter actually ran.
+		want := -1
+		for _, v := range variants {
+			n, ok := counts[v.label]
+			if !ok {
+				continue
 			}
-			ranScalar = true
-			b.ReportMetric(float64(scalarN), "detected")
-		})
-		b.Run(name+"/batched", func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				batchedN = len(td.Detect(ff, nil))
+			if want == -1 {
+				want = n
+			} else if n != want {
+				b.Fatalf("%s: variant %s detected %d, others %d", name, v.label, n, want)
 			}
-			ranBatched = true
-			b.ReportMetric(float64(batchedN), "detected")
-		})
-		// Only cross-check when a -bench filter selected both variants.
-		if ranScalar && ranBatched && scalarN != batchedN {
-			b.Fatalf("%s: scalar detected %d, batched %d", name, scalarN, batchedN)
+		}
+	}
+}
+
+// BenchmarkConfirm isolates one exact scalar confirmation — the unit the
+// credit sweep, the validator and the splice re-confirmation all pay per
+// candidate. The event-driven path copies the good-machine values and
+// re-evaluates only the fault cone; the full path re-evaluates the whole
+// frame. The sampled fault rotates through the universe so both paths
+// average over shallow and deep cones.
+func BenchmarkConfirm(b *testing.B) {
+	for _, name := range []string{"s641", "s1238"} {
+		c := bench.ProfileByName(name).Circuit()
+		all := faults.AllDelay(c)
+		for _, mode := range []string{"event", "fulleval"} {
+			net := sim.NewNet(c)
+			td := tdsim.New(net, logic.Robust)
+			td.SetFullEval(mode == "fulleval")
+			rng := rand.New(rand.NewSource(7))
+			bits := func(n int) []sim.V3 {
+				out := make([]sim.V3, n)
+				for i := range out {
+					out[i] = sim.V3(rng.Intn(2))
+				}
+				return out
+			}
+			v1, s0 := bits(len(c.PIs)), bits(len(c.DFFs))
+			f1 := net.LoadFrame(v1, s0)
+			net.Eval3(f1, nil)
+			ff := &tdsim.FastFrame{
+				V1: v1, V2: bits(len(c.PIs)), S0: s0, S1: net.NextState3(f1, nil),
+				Prop: [][]sim.V3{bits(len(c.PIs)), bits(len(c.PIs))},
+			}
+			vals := td.Values(ff)
+			goodS2 := make([]sim.V3, len(c.DFFs))
+			for i, ppo := range c.PPOs() {
+				goodS2[i] = sim.V3(vals[ppo].Final())
+			}
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					td.Confirm(ff, vals, goodS2, all[i%len(all)])
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,70 @@
+// Benchjson converts `go test -bench` text output (stdin) into one JSON
+// array of benchmark records (stdout), the machine-readable form CI
+// uploads as the BENCH.json artifact so the performance trajectory
+// accumulates commit over commit. Non-benchmark lines (goos/goarch/pkg,
+// PASS/ok) are skipped; every `value unit` pair after the iteration
+// count — ns/op, B/op, allocs/op and custom ReportMetric units alike —
+// lands in the record's metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans the stream for benchmark result lines. The format is
+// stable since Go 1.0: name, iteration count, then value/unit pairs.
+func parse(r io.Reader) ([]Record, error) {
+	recs := []Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX --- FAIL" shapes
+		}
+		rec := Record{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", fields[0], fields[i])
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParse feeds a verbatim `go test -bench -benchmem` transcript and
+// checks names, iteration counts, standard and custom metrics.
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: fogbuster
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCreditSweep/s386/scalar         	    9951	    105349 ns/op	         4.000 detected	   31856 B/op	      47 allocs/op
+BenchmarkConfirm/s1238/event             	 4395884	       280.6 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	fogbuster	27.314s
+`
+	recs, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "BenchmarkCreditSweep/s386/scalar" || r.Runs != 9951 {
+		t.Fatalf("record 0 = %+v", r)
+	}
+	for unit, want := range map[string]float64{"ns/op": 105349, "detected": 4, "B/op": 31856, "allocs/op": 47} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if recs[1].Metrics["ns/op"] != 280.6 {
+		t.Errorf("fractional ns/op lost: %v", recs[1].Metrics["ns/op"])
+	}
+}
+
+// TestParseEmpty: no benchmark lines yields an empty (not null) array.
+func TestParseEmpty(t *testing.T) {
+	recs, err := parse(strings.NewReader("PASS\n"))
+	if err != nil || recs == nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}

@@ -1,51 +1,113 @@
 // Circstat prints size statistics and the delay fault universe for
 // circuits: either .bench files given as arguments, or (with no
-// arguments) the full Table 3 benchmark set.
+// arguments) the full Table 3 benchmark set. File mode additionally
+// reports the per-level gate histogram and the fanout-cone size
+// distribution from the CSR topology — the numbers that predict how much
+// the event-driven selective-trace kernel saves over full levelized
+// simulation (small median cone = large win).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"fogbuster/internal/bench"
 	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: circstat [file.bench ...]\n")
-		fmt.Fprintf(os.Stderr, "With no arguments, prints the Table 3 benchmark set.\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() == 0 {
-		fmt.Printf("%-8s %5s %5s %5s %7s %7s %9s %7s %7s %7s\n",
-			"circuit", "pi", "po", "dff", "gates", "stems", "branches", "lines", "faults", "depth")
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("circstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("circuit", "", "table mode: print only the named benchmark (e.g. s27)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: circstat [file.bench ...]\n")
+		fmt.Fprintf(stderr, "With no arguments, prints the Table 3 benchmark set.\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if fs.NArg() == 0 {
+		fmt.Fprintf(stdout, "%-8s %5s %5s %5s %7s %7s %9s %7s %7s %7s %6s %6s %6s\n",
+			"circuit", "pi", "po", "dff", "gates", "stems", "branches", "lines", "faults", "depth",
+			"cmin%", "cmed%", "cmax%")
+		matched := 0
 		for _, p := range bench.Profiles {
+			if *only != "" && p.Name != *only {
+				continue
+			}
+			matched++
 			c := p.Circuit()
 			s := c.Stats()
 			note := " (synthetic)"
 			if p.Exact {
 				note = " (exact)"
 			}
-			fmt.Printf("%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d%s\n",
-				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, 2*s.Lines, s.MaxLevel, note)
+			lo, med, hi := coneDistribution(sim.NewTopology(c))
+			g := float64(s.Gates)
+			fmt.Fprintf(stdout, "%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d %5.1f%% %5.1f%% %5.1f%%%s\n",
+				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, 2*s.Lines, s.MaxLevel,
+				100*float64(lo)/g, 100*float64(med)/g, 100*float64(hi)/g, note)
 		}
-		return
+		if matched == 0 {
+			fmt.Fprintf(stderr, "circstat: no benchmark named %q (see the table for valid names)\n", *only)
+			return 1
+		}
+		return 0
 	}
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "circstat: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "circstat: %v\n", err)
+			return 1
 		}
 		c, err := netlist.Parse(path, string(data))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "circstat: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "circstat: %v\n", err)
+			return 1
 		}
-		fmt.Println(c.Stats())
+		fmt.Fprintln(stdout, c.Stats())
+		topoReport(stdout, c)
 	}
+	return 0
+}
+
+// topoReport prints the per-level gate histogram and the fanout-cone
+// size distribution of the circuit's CSR topology.
+func topoReport(w io.Writer, c *netlist.Circuit) {
+	t := sim.NewTopology(c)
+	fmt.Fprintf(w, "  gates per level:")
+	for l := int32(1); l <= t.MaxLevel; l++ {
+		fmt.Fprintf(w, " %d:%d", l, t.LevelOff[l+1]-t.LevelOff[l])
+	}
+	fmt.Fprintln(w)
+	lo, med, hi := coneDistribution(t)
+	g := c.NumGates()
+	fmt.Fprintf(w, "  fanout cones (gates): min %d median %d max %d of %d (%.1f%% / %.1f%% / %.1f%%)\n",
+		lo, med, hi, g,
+		100*float64(lo)/float64(g), 100*float64(med)/float64(g), 100*float64(hi)/float64(g))
+}
+
+// coneDistribution returns the min, median and max fanout-cone gate
+// count over every stem of the circuit.
+func coneDistribution(t *sim.Topology) (lo, med, hi int) {
+	sizes := make([]int, t.NumNodes())
+	for i := range sizes {
+		sizes[i] = t.ConeGates(netlist.NodeID(i))
+	}
+	sort.Ints(sizes)
+	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fogbuster/internal/bench"
+)
+
+// TestFileMode runs circstat on a real .bench file and checks the
+// classic stats line plus the new topology report: the level histogram
+// and the fanout-cone distribution (s27 has 10 gates; the largest cone
+// cannot exceed them).
+func TestFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	if err := os.WriteFile(path, []byte(bench.S27), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"lines=25", "faults=50", "gates per level:", "fanout cones (gates):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTableMode runs the no-argument benchmark table, filtered to the
+// exact s27 profile so the test stays cheap, and checks the cone
+// columns are present.
+func TestTableMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-circuit", "s27"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "cmed%") || !strings.Contains(out, "s27") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "(exact)") {
+		t.Fatalf("s27 row should be marked exact:\n%s", out)
+	}
+}
+
+// TestBadFile: a missing file fails with a nonzero exit code and a
+// message on stderr.
+func TestBadFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"/nonexistent/x.bench"}, &stdout, &stderr); code == 0 {
+		t.Fatal("missing file accepted")
+	}
+	if !strings.Contains(stderr.String(), "circstat:") {
+		t.Fatalf("error not reported: %q", stderr.String())
+	}
+}
+
+// TestUnknownCircuit: a -circuit typo must not pass as an empty table.
+func TestUnknownCircuit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-circuit", "s127"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown benchmark name accepted")
+	}
+	if !strings.Contains(stderr.String(), "s127") {
+		t.Fatalf("name not reported: %q", stderr.String())
+	}
+}

@@ -31,6 +31,7 @@ type config struct {
 	workers   int
 	compact   bool
 	seed      int64
+	fullEval  bool
 	heur      order.Heuristic
 }
 
@@ -47,6 +48,7 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
 	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one table, at any worker count)")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact every test set and report vectors before/after")
+	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
 	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -78,12 +80,13 @@ func (cfg *config) engineOptions() core.Options {
 		Workers:         cfg.workers,
 		Order:           cfg.heur,
 		Compact:         cfg.compact,
+		FullEval:        cfg.fullEval,
 	}
 }
 
 // compactOptions translates the command line into the compaction options.
 func (cfg *config) compactOptions() compact.Options {
-	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed}
+	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed, FullEval: cfg.fullEval}
 }
 
 func main() {

@@ -33,6 +33,19 @@ func TestSeedFlagReachesEngine(t *testing.T) {
 	}
 }
 
+// TestFullEvalFlagReachesEngine pins the -fulleval oracle knob for
+// table3, in the engine and the compaction options alike.
+func TestFullEvalFlagReachesEngine(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-fulleval"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.engineOptions().FullEval || !cfg.compactOptions().FullEval {
+		t.Fatal("-fulleval did not reach the options")
+	}
+}
+
 // TestParseArgsRejectsUnknownOrder: a misspelled heuristic fails fast.
 func TestParseArgsRejectsUnknownOrder(t *testing.T) {
 	var stderr bytes.Buffer

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fogbuster/internal/compact"
@@ -34,6 +36,9 @@ type config struct {
 	workers   int
 	compact   bool
 	seed      int64
+	fullEval  bool
+	cpuProf   string
+	memProf   string
 	heur      order.Heuristic
 	bench     string
 }
@@ -58,6 +63,9 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
 	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one Summary, at any worker count)")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact the test set (reverse-order drop + overlap merge) after generation")
+	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
+	fs.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile (taken after the run) to this file")
 	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -97,13 +105,49 @@ func (cfg *config) engineOptions() core.Options {
 		Workers:         cfg.workers,
 		Order:           cfg.heur,
 		Compact:         cfg.compact,
+		FullEval:        cfg.fullEval,
 	}
 }
 
 // compactOptions translates the command line into the compaction options;
 // the seed must match the engine's so the splice fills are reproducible.
 func (cfg *config) compactOptions() compact.Options {
-	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed}
+	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed, FullEval: cfg.fullEval}
+}
+
+// profiling starts CPU profiling if requested and returns a stop
+// function that finishes both profiles; it must run before any os.Exit.
+func (cfg *config) profiling() (func(), error) {
+	var cpuFile *os.File
+	if cfg.cpuProf != "" {
+		f, err := os.Create(cfg.cpuProf)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if cfg.memProf != "" {
+			f, err := os.Create(cfg.memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 func main() {
@@ -126,15 +170,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	stopProf, err := cfg.profiling()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+		os.Exit(1)
+	}
 	sum := core.New(c, cfg.engineOptions()).Run()
 	var st *core.CompactionStats
 	if cfg.compact {
 		st = compact.Apply(c, sum, cfg.compactOptions())
 		if !st.Complete {
+			stopProf()
 			fmt.Fprintln(os.Stderr, "tdatpg: compaction refused: recorded detection sets are absent or incomplete")
 			os.Exit(1)
 		}
 	}
+	stopProf()
 
 	if cfg.csvOut != "" {
 		f, err := os.Create(cfg.csvOut)

@@ -36,6 +36,30 @@ func TestSeedFlagReachesEngine(t *testing.T) {
 	}
 }
 
+// TestFullEvalFlagReachesEngine pins the -fulleval oracle knob: it must
+// land in core.Options.FullEval AND in the compaction options, so the
+// splice re-confirmations run on the same path as the engine. The
+// profiling flags must survive parsing too.
+func TestFullEvalFlagReachesEngine(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-fulleval", "-compact", "-cpuprofile", "cpu.out", "-memprofile", "mem.out", "circuit.bench"}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	if !cfg.engineOptions().FullEval {
+		t.Fatal("engine FullEval not set")
+	}
+	if !cfg.compactOptions().FullEval {
+		t.Fatal("compaction FullEval not set")
+	}
+	if cfg.cpuProf != "cpu.out" || cfg.memProf != "mem.out" {
+		t.Fatalf("profile paths lost: cpu=%q mem=%q", cfg.cpuProf, cfg.memProf)
+	}
+	if cfg2, err := parseArgs([]string{"circuit.bench"}, &stderr); err != nil || cfg2.engineOptions().FullEval {
+		t.Fatal("FullEval must default to off (event-driven kernels)")
+	}
+}
+
 // TestDefaultSeedIsZero: without -seed the engine keeps the fixed
 // default seed, preserving pre-flag reproducibility.
 func TestDefaultSeedIsZero(t *testing.T) {

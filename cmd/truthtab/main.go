@@ -6,52 +6,67 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"fogbuster/internal/logic"
 )
 
 func main() {
-	nonRobust := flag.Bool("nonrobust", false, "print the non-robust algebra instead")
-	all := flag.Bool("all", false, "also print the derived OR and XOR tables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("truthtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nonRobust := fs.Bool("nonrobust", false, "print the non-robust algebra instead")
+	all := fs.Bool("all", false, "also print the derived OR and XOR tables")
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	alg := logic.Robust
 	if *nonRobust {
 		alg = logic.NonRobust
 	}
 
-	fmt.Printf("Table 1: truth table for AND gate (%s algebra)\n", alg.Name())
-	printTable(func(x, y logic.Value) logic.Value { return alg.And(x, y) })
+	fmt.Fprintf(stdout, "Table 1: truth table for AND gate (%s algebra)\n", alg.Name())
+	printTable(stdout, func(x, y logic.Value) logic.Value { return alg.And(x, y) })
 
-	fmt.Printf("\nTable 2: truth table for inverter\n      ")
+	fmt.Fprintf(stdout, "\nTable 2: truth table for inverter\n      ")
 	for v := logic.Value(0); v < logic.NumValues; v++ {
-		fmt.Printf("%4s", v)
+		fmt.Fprintf(stdout, "%4s", v)
 	}
-	fmt.Printf("\n  NOT ")
+	fmt.Fprintf(stdout, "\n  NOT ")
 	for v := logic.Value(0); v < logic.NumValues; v++ {
-		fmt.Printf("%4s", alg.Not(v))
+		fmt.Fprintf(stdout, "%4s", alg.Not(v))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	if *all {
-		fmt.Printf("\nDerived OR table (De Morgan dual)\n")
-		printTable(func(x, y logic.Value) logic.Value { return alg.Or(x, y) })
-		fmt.Printf("\nDerived XOR table\n")
-		printTable(func(x, y logic.Value) logic.Value { return alg.Xor(x, y) })
+		fmt.Fprintf(stdout, "\nDerived OR table (De Morgan dual)\n")
+		printTable(stdout, func(x, y logic.Value) logic.Value { return alg.Or(x, y) })
+		fmt.Fprintf(stdout, "\nDerived XOR table\n")
+		printTable(stdout, func(x, y logic.Value) logic.Value { return alg.Xor(x, y) })
 	}
+	return 0
 }
 
-func printTable(op func(x, y logic.Value) logic.Value) {
-	fmt.Printf("      ")
+func printTable(w io.Writer, op func(x, y logic.Value) logic.Value) {
+	fmt.Fprintf(w, "      ")
 	for y := logic.Value(0); y < logic.NumValues; y++ {
-		fmt.Printf("%4s", y)
+		fmt.Fprintf(w, "%4s", y)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for x := logic.Value(0); x < logic.NumValues; x++ {
-		fmt.Printf("%4s |", x)
+		fmt.Fprintf(w, "%4s |", x)
 		for y := logic.Value(0); y < logic.NumValues; y++ {
-			fmt.Printf("%4s", op(x, y))
+			fmt.Fprintf(w, "%4s", op(x, y))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

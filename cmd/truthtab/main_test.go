@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fogbuster/internal/logic"
+)
+
+// TestTables pins the printed Table 1 against the algebra itself: the
+// AND row for Rc must match logic.Robust cell for cell, and the header
+// must name the robust algebra.
+func TestTables(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table 1: truth table for AND gate (robust algebra)") {
+		t.Fatalf("missing Table 1 header:\n%s", out)
+	}
+	if !strings.Contains(out, "Table 2: truth table for inverter") {
+		t.Fatalf("missing Table 2 header:\n%s", out)
+	}
+	// The Rc row of the AND table, rendered the way printTable does.
+	var want strings.Builder
+	want.WriteString("  Rc |")
+	for y := logic.Value(0); y < logic.NumValues; y++ {
+		want.WriteString(pad4(logic.Robust.And(logic.RiseC, y).String()))
+	}
+	if !strings.Contains(out, want.String()) {
+		t.Fatalf("AND table Rc row mismatch, want %q in:\n%s", want.String(), out)
+	}
+}
+
+// TestAllAndNonRobust: -all adds the derived tables, -nonrobust switches
+// the algebra name.
+func TestAllAndNonRobust(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-all", "-nonrobust"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"non-robust algebra", "Derived OR table", "Derived XOR table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// pad4 right-aligns a cell the way fmt's %4s does.
+func pad4(s string) string {
+	for len(s) < 4 {
+		s = " " + s
+	}
+	return s
+}

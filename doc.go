@@ -6,8 +6,15 @@
 // FAUSIM/TDsim fault simulators.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); command line tools live under cmd/ and runnable examples
-// under examples/. The benchmarks in bench_test.go regenerate every table
-// and figure of the paper's evaluation; EXPERIMENTS.md records the
-// measured results against the paper's.
+// inventory). The simulation substrate shared by sim, tdsim, fausim and
+// semilet is the flat CSR topology (sim.Topology: structure-of-arrays
+// fanin/fanout edge arrays, level-bucketed gate order, fanout-cone
+// bitsets); every evaluator exists both as a full levelized walk and as
+// an event-driven selective-trace kernel over that topology which
+// re-evaluates only the fanout cones of changed sources, bit-identical
+// by contract (core.Options.FullEval forces the full walks as the
+// reference oracle). Command line tools live under cmd/ and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation; EXPERIMENTS.md
+// records the measured results against the paper's.
 package fogbuster

@@ -8,11 +8,13 @@ package main
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fogbuster/internal/bench"
 	"fogbuster/internal/core"
 	"fogbuster/internal/logic"
 	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
 )
 
 func main() {
@@ -41,5 +43,45 @@ func main() {
 		r := sum.Results[longest]
 		fmt.Printf("\nexample: robust two-pattern test for %s through the carry chain\n", r.Fault.Name(rca))
 		fmt.Printf("  V1 = %v\n  V2 = %v (fast capture)\n", r.Seq.V1, r.Seq.V2)
+	}
+
+	sensitivity()
+}
+
+// sensitivity computes exact per-input observability of c17 with the
+// 64-way two-valued machinery: c17's 5 inputs span 32 patterns, so the
+// whole truth table fits in one machine word (Eval64), and flipping one
+// input across all patterns is a single-seed event-driven update
+// (Eval64Cone) that re-evaluates only that input's fanout cone. The
+// count of PO bits that change is the number of patterns under which
+// the input is observable — a two-valued preview of the cone-kernel
+// substrate the fault simulators run on.
+func sensitivity() {
+	c := bench.NewC17()
+	net := sim.NewNet(c)
+	vec := make([]sim.Word, len(c.PIs))
+	for i := range vec {
+		// Bit p of input i holds input i's value under pattern p.
+		for p := 0; p < 32; p++ {
+			if p&(1<<i) != 0 {
+				vec[i] |= sim.Word(1) << p
+			}
+		}
+	}
+	const all32 = sim.Word(1)<<32 - 1
+	base := net.LoadFrame64(vec, nil)
+	net.Eval64(base)
+	fmt.Printf("\nc17 input observability over the full truth table (32 patterns/word):\n")
+	vals := append([]sim.Word(nil), base...)
+	for i, pi := range c.PIs {
+		copy(vals, base)
+		vals[pi] ^= all32
+		net.Eval64Cone(vals, []netlist.NodeID{pi})
+		var diff sim.Word
+		for _, po := range c.POs {
+			diff |= (vals[po] ^ base[po]) & all32
+		}
+		fmt.Printf("  %-3s observable under %2d/32 patterns\n",
+			c.Nodes[c.PIs[i]].Name, bits.OnesCount64(diff))
 	}
 }

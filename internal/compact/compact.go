@@ -40,6 +40,10 @@ type Options struct {
 	// DisableSplice turns off the overlap-merge phase, leaving the
 	// reverse-order drop only.
 	DisableSplice bool
+	// FullEval forces the splice re-confirmations onto the full
+	// levelized walks (the reference oracle); pass the run's
+	// Options.FullEval. Acceptance decisions are identical either way.
+	FullEval bool
 }
 
 // Apply compacts the summary's test set in place: dropped sequences are
@@ -83,7 +87,7 @@ func Apply(c *netlist.Circuit, sum *core.Summary, opts Options) *core.Compaction
 	// the recorded detection sets (simulation-credited faults are then
 	// unassigned) and must keep its sequences untouched.
 	if !opts.DisableSplice && complete {
-		spliceAdjacent(c, sum, kept, assigned, alg, opts.Seed, stats)
+		spliceAdjacent(c, sum, kept, assigned, opts, alg, stats)
 	}
 
 	stats.Kept = len(kept)

@@ -142,6 +142,24 @@ func TestCompactionWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestCompactionFullEvalInvariance: the splice re-confirmations accept
+// exactly the same overlaps on the event-driven kernels and the full
+// levelized reference, end to end — including when the engine run
+// itself switches paths.
+func TestCompactionFullEvalInvariance(t *testing.T) {
+	for _, name := range []string{"s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		sumEvt := core.New(c, core.Options{Compact: true}).Run()
+		stEvt := Apply(c, sumEvt, Options{})
+		cRef := bench.ProfileByName(name).Circuit()
+		sumRef := core.New(cRef, core.Options{Compact: true, FullEval: true}).Run()
+		stRef := Apply(cRef, sumRef, Options{FullEval: true})
+		if got, want := summarize(sumEvt, stEvt), summarize(sumRef, stRef); got != want {
+			t.Errorf("%s: compaction diverged between kernels:\n--- event\n%s--- full\n%s", name, got, want)
+		}
+	}
+}
+
 // TestMergeFrames covers the three-valued frame merge underlying the
 // splice phase.
 func TestMergeFrames(t *testing.T) {

@@ -20,13 +20,15 @@ import (
 // synchronization prefix by k vectors. Pairs are disjoint (an accepted
 // splice consumes both sequences), so every confirmation is local to
 // one pair and the walk stays deterministic.
-func spliceAdjacent(c *netlist.Circuit, sum *core.Summary, kept []int, assigned map[int][]faults.Delay, alg *logic.Algebra, seed int64, stats *core.CompactionStats) {
+func spliceAdjacent(c *netlist.Circuit, sum *core.Summary, kept []int, assigned map[int][]faults.Delay, opts Options, alg *logic.Algebra, stats *core.CompactionStats) {
 	net := sim.NewNet(c)
-	ap := &applier{net: net, td: tdsim.New(net, alg)}
+	td := tdsim.New(net, alg)
+	td.SetFullEval(opts.FullEval)
+	ap := &applier{net: net, td: td}
 	for k := 0; k+1 < len(kept); k++ {
 		a := sum.Results[kept[k]].Seq
 		b := sum.Results[kept[k+1]].Seq
-		if saved := ap.trySplice(a, b, assigned[kept[k]], assigned[kept[k+1]], pairSeed(seed, k)); saved > 0 {
+		if saved := ap.trySplice(a, b, assigned[kept[k]], assigned[kept[k+1]], pairSeed(opts.Seed, k)); saved > 0 {
 			stats.Splices++
 			stats.SplicedFrames += saved
 			k++

@@ -129,6 +129,14 @@ type Options struct {
 	// summaries — TestBatchedCreditInvariance pins it — so the knob
 	// exists only for differential testing and benchmarking.
 	ScalarCredit bool
+	// FullEval forces every simulation pass — confirmation, credit
+	// sweep, propagation-phase search, splice re-confirmation — onto the
+	// full levelized walk instead of the event-driven selective-trace
+	// kernel that re-evaluates only fault-site fanout cones. The two
+	// paths produce bit-identical Summaries (Detects included) at every
+	// worker count, pinned by TestEventDrivenInvariance; the knob exists
+	// as the reference oracle for differential tests and benchmarks.
+	FullEval bool
 	// Compact records the full detection set of every generated sequence
 	// (TestSequence.Detects) and the generation order (Summary.SeqOrder)
 	// so that internal/compact can drop and splice sequences after the
@@ -253,6 +261,7 @@ type Engine struct {
 	alg  *logic.Algebra
 	meas *testability.Measures
 	tim  *timing.Analysis // nil unless VariationBudget > 0
+	topo *sim.Topology    // immutable CSR topology shared by all workers
 
 	index map[faults.Delay]int
 }
@@ -281,6 +290,7 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 		opts: opts,
 		alg:  opts.Algebra,
 		meas: testability.Compute(c),
+		topo: sim.NewTopology(c),
 	}
 	if opts.VariationBudget > 0 {
 		e.tim = timing.Analyze(c, nil)

@@ -126,6 +126,49 @@ func TestBatchedCreditInvariance(t *testing.T) {
 	}
 }
 
+// TestEventDrivenInvariance pins the selective-trace substrate into the
+// determinism contract: the event-driven kernels (the default) must
+// produce a Summary bit-identical to the full-eval reference
+// (Options.FullEval) at every worker count — Detects included, because
+// Compact drops the credit skip filter and records the complete
+// detection sets the compactor replays.
+func TestEventDrivenInvariance(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		ref := New(c, Options{FullEval: true, Workers: 1, Compact: true}).Run()
+		refS := summarize(ref)
+		for _, workers := range []int{1, 4} {
+			got := New(c, Options{Workers: workers, Compact: true}).Run()
+			if gotS := summarize(got); gotS != refS {
+				t.Errorf("%s: event-driven (Workers=%d) diverged from full-eval:\n--- full\n%s--- event\n%s",
+					name, workers, refS, gotS)
+				continue
+			}
+			for i := range ref.Results {
+				ra, rb := ref.Results[i].Seq, got.Results[i].Seq
+				if (ra == nil) != (rb == nil) {
+					t.Fatalf("%s: sequence presence differs at fault %d", name, i)
+				}
+				if ra == nil {
+					continue
+				}
+				if len(ra.Detects) != len(rb.Detects) {
+					t.Errorf("%s fault %d: full-eval recorded %d detections, event %d",
+						name, i, len(ra.Detects), len(rb.Detects))
+					continue
+				}
+				for j := range ra.Detects {
+					if ra.Detects[j] != rb.Detects[j] {
+						t.Errorf("%s fault %d: detection %d differs: full %v, event %v",
+							name, i, j, ra.Detects[j], rb.Detects[j])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestNewRejectsUnknownOrder pins the fail-fast contract: a
 // misspelled heuristic must not silently run the natural order under
 // the wrong label.

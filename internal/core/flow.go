@@ -25,14 +25,18 @@ type worker struct {
 	rng *rand.Rand
 }
 
-// newWorker clones the engine state for one worker goroutine.
+// newWorker clones the mutable engine state for one worker goroutine:
+// the Net (simulator scratch) is private, the CSR topology behind it is
+// the engine's shared immutable one.
 func (e *Engine) newWorker() *worker {
-	net := sim.NewNet(e.c)
+	net := sim.NewNetOn(e.topo)
+	td := tdsim.New(net, e.alg)
+	td.SetFullEval(e.opts.FullEval)
 	return &worker{
 		e:   e,
 		net: net,
-		sem: semilet.NewEngine(net, semilet.Options{MaxFrames: e.opts.MaxFrames, Meas: e.meas}),
-		td:  tdsim.New(net, e.alg),
+		sem: semilet.NewEngine(net, semilet.Options{MaxFrames: e.opts.MaxFrames, Meas: e.meas, FullEval: e.opts.FullEval}),
+		td:  td,
 	}
 }
 

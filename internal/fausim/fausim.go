@@ -24,12 +24,24 @@ import (
 type Sim struct {
 	net *sim.Net
 
+	// fullEval forces the full levelized walks instead of the
+	// event-driven selective-trace paths (the reference oracle). The
+	// stuck-at batch simulator always walks fully: its 64 machines carry
+	// injections everywhere, so there is no shared fault-free baseline.
+	fullEval bool
+
 	// Reusable 64-way scratch (lazily built): one dual-rail frame, one
 	// injector, and the dual-rail state rails carried between frames.
 	frame64            *sim.Frame64
 	inj64              *sim.Inject64
 	stateV, stateK     []sim.Word
 	scratchV, scratchK []sim.Word
+
+	// Scalar scratch of the event-driven paths: the good and faulty
+	// frame values and the states carried between frames.
+	gv3, fv3       []sim.V3
+	gstate, fstate []sim.V3
+	seeds          []netlist.NodeID
 }
 
 // New builds a simulator for the circuit.
@@ -37,6 +49,11 @@ func New(net *sim.Net) *Sim { return &Sim{net: net} }
 
 // Net returns the underlying circuit view.
 func (s *Sim) Net() *sim.Net { return s.net }
+
+// SetFullEval selects between the event-driven selective-trace paths
+// (default) and the full levelized reference walks. Call it before the
+// first simulation.
+func (s *Sim) SetFullEval(on bool) { s.fullEval = on }
 
 // scratch64 returns the lazily-built 64-way buffers.
 func (s *Sim) scratch64() (*sim.Frame64, *sim.Inject64) {
@@ -52,6 +69,18 @@ func (s *Sim) scratch64() (*sim.Frame64, *sim.Inject64) {
 	return s.frame64, s.inj64
 }
 
+// scratchScalar returns the lazily-built scalar frame buffers of the
+// event-driven paths.
+func (s *Sim) scratchScalar() ([]sim.V3, []sim.V3) {
+	if s.gv3 == nil {
+		s.gv3 = make([]sim.V3, len(s.net.C.Nodes))
+		s.fv3 = make([]sim.V3, len(s.net.C.Nodes))
+		s.gstate = make([]sim.V3, len(s.net.C.DFFs))
+		s.fstate = make([]sim.V3, len(s.net.C.DFFs))
+	}
+	return s.gv3, s.fv3
+}
+
 // FillSequence replaces every X in every vector with a pseudo-random bit,
 // the paper's phase-1 treatment of don't-cares left by test generation.
 func FillSequence(vectors [][]sim.V3, rng *rand.Rand) [][]sim.V3 {
@@ -62,10 +91,35 @@ func FillSequence(vectors [][]sim.V3, rng *rand.Rand) [][]sim.V3 {
 	return out
 }
 
+// Replay is the good machine's trace over a vector sequence: the
+// per-frame observable Steps plus — on the event-driven path — the
+// complete per-frame node values, which serve as the selective-trace
+// baseline the batched pair simulation diffs against.
+type Replay struct {
+	Steps []sim.Step
+	vals  [][]sim.V3 // full node values per frame; nil on the full-eval path
+}
+
 // GoodReplay simulates the good machine over the vectors from initState
-// (nil for power-up) and returns the state after every frame.
-func (s *Sim) GoodReplay(initState []sim.V3, vectors [][]sim.V3) []sim.Step {
-	return s.net.SeqSim3(initState, vectors)
+// (nil for power-up) and returns the per-frame trace.
+func (s *Sim) GoodReplay(initState []sim.V3, vectors [][]sim.V3) *Replay {
+	if s.fullEval {
+		return &Replay{Steps: s.net.SeqSim3(initState, vectors)}
+	}
+	r := &Replay{
+		Steps: make([]sim.Step, 0, len(vectors)),
+		vals:  make([][]sim.V3, 0, len(vectors)),
+	}
+	state := initState
+	for _, vec := range vectors {
+		vals := s.net.LoadFrame(vec, state)
+		s.net.Eval3(vals, nil)
+		st := sim.Step{Outputs: s.net.Outputs3(vals), State: s.net.NextState3(vals, nil)}
+		r.Steps = append(r.Steps, st)
+		r.vals = append(r.vals, vals)
+		state = st.State
+	}
+	return r
 }
 
 // PairDiff simulates the good and faulty machines (differing only in their
@@ -74,21 +128,59 @@ func (s *Sim) GoodReplay(initState []sim.V3, vectors [][]sim.V3) []sim.Step {
 // fault free in both runs: under the slow clock the delay fault cannot
 // occur, exactly the paper's propagation-phase model. The scan returns on
 // the first provable difference; later POs and frames are never evaluated.
+// By default the faulty machine is a selective trace over the good one:
+// each frame copies the good values and re-evaluates only the cones of
+// the state bits that still differ, and the replay stops as soon as the
+// two states coincide (no later frame could distinguish them).
 func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int, int) {
-	g, f := goodState, faultyState
+	if s.fullEval {
+		g, f := goodState, faultyState
+		for frame, vec := range vectors {
+			gv := s.net.LoadFrame(vec, g)
+			s.net.Eval3(gv, nil)
+			fv := s.net.LoadFrame(vec, f)
+			s.net.Eval3(fv, nil)
+			for i, po := range s.net.C.POs {
+				a, b := gv[po], fv[po]
+				if a.Known() && b.Known() && a != b {
+					return frame, i
+				}
+			}
+			g = s.net.NextState3(gv, nil)
+			f = s.net.NextState3(fv, nil)
+		}
+		return -1, -1
+	}
+	gv, fv := s.scratchScalar()
+	c := s.net.C
+	g := append(s.gstate[:0], goodState...)
+	f := append(s.fstate[:0], faultyState...)
 	for frame, vec := range vectors {
-		gv := s.net.LoadFrame(vec, g)
+		s.net.LoadFrameInto(gv, vec, g)
 		s.net.Eval3(gv, nil)
-		fv := s.net.LoadFrame(vec, f)
-		s.net.Eval3(fv, nil)
-		for i, po := range s.net.C.POs {
+		copy(fv, gv)
+		seeds := s.seeds[:0]
+		for i, ff := range c.DFFs {
+			if f[i] != g[i] {
+				fv[ff] = f[i]
+				seeds = append(seeds, ff)
+			}
+		}
+		s.seeds = seeds
+		if len(seeds) == 0 {
+			return -1, -1
+		}
+		s.net.Eval3Cone(fv, seeds)
+		for i, po := range c.POs {
 			a, b := gv[po], fv[po]
 			if a.Known() && b.Known() && a != b {
 				return frame, i
 			}
 		}
-		g = s.net.NextState3(gv, nil)
-		f = s.net.NextState3(fv, nil)
+		for i, ff := range c.DFFs {
+			d := c.Nodes[ff].Fanin[0]
+			g[i], f[i] = gv[d], fv[d]
+		}
 	}
 	return -1, -1
 }
@@ -104,21 +196,49 @@ func (s *Sim) PairDiff(goodState, faultyState []sim.V3, vectors [][]sim.V3) (int
 // dual-rail evaluation is bit-exact against the scalar three-valued
 // simulation and a once-detected machine stays detected. The frame loop
 // stops as soon as every live machine is resolved.
-func (s *Sim) PairDiffBatch(goods []sim.Step, faultyV []sim.Word, live sim.Word, vectors [][]sim.V3) sim.Word {
+//
+// When the replay carries the full good-machine values (the event-driven
+// default), each frame evaluates only the dual-rail overlay of the state
+// bits that still diverge from the good machine, and the loop exits as
+// soon as every machine's state has collapsed onto the good one.
+func (s *Sim) PairDiffBatch(goods *Replay, faultyV []sim.Word, live sim.Word, vectors [][]sim.V3) sim.Word {
 	frame, _ := s.scratch64()
+	net := s.net
 	stateV, stateK := s.stateV, s.stateK
-	for i := range s.net.C.DFFs {
+	for i := range net.C.DFFs {
 		stateV[i], stateK[i] = faultyV[i], sim.AllOnes
 	}
+	event := !s.fullEval && goods.vals != nil
 	var detected sim.Word
 	for fi, vec := range vectors {
-		s.net.LoadFrame64DR(frame, vec, nil)
-		for i, ff := range s.net.C.DFFs {
-			frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
+		if event {
+			base := goods.vals[fi]
+			seeded := false
+			for i, ff := range net.C.DFFs {
+				bv, bk := sim.Broadcast64(base[ff])
+				if stateV[i] != bv || stateK[i] != bk {
+					net.Overlay64Set(frame, ff, stateV[i], stateK[i])
+					seeded = true
+				}
+			}
+			if !seeded {
+				// Every live machine's state coincides with the good
+				// machine's: no later frame can distinguish them.
+				return detected
+			}
+			net.Eval64DROverlay(frame, base)
+		} else {
+			net.LoadFrame64DR(frame, vec, nil)
+			for i, ff := range net.C.DFFs {
+				frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
+			}
+			net.Eval64DR(frame, nil)
 		}
-		s.net.Eval64DR(frame, nil)
-		for p, po := range s.net.C.POs {
-			good := goods[fi].Outputs[p]
+		for p, po := range net.C.POs {
+			if event && !net.Overlay64Marked(po) {
+				continue // identical to the good machine: no provable diff
+			}
+			good := goods.Steps[fi].Outputs[p]
 			if !good.Known() {
 				continue
 			}
@@ -130,10 +250,26 @@ func (s *Sim) PairDiffBatch(goods []sim.Step, faultyV []sim.Word, live sim.Word,
 			detected |= diff
 			live &^= diff
 			if live == 0 {
+				if event {
+					net.Overlay64Reset()
+				}
 				return detected
 			}
 		}
-		s.net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		if event {
+			base := goods.vals[fi]
+			for i, ff := range net.C.DFFs {
+				d := net.C.Nodes[ff].Fanin[0]
+				if net.Overlay64Marked(d) {
+					s.scratchV[i], s.scratchK[i] = frame.V[d], frame.K[d]
+				} else {
+					s.scratchV[i], s.scratchK[i] = sim.Broadcast64(base[d])
+				}
+			}
+			net.Overlay64Reset()
+		} else {
+			net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		}
 		stateV, stateK = s.scratchV, s.scratchK
 		s.scratchV, s.scratchK = s.stateV, s.stateK
 		s.stateV, s.stateK = stateV, stateK
@@ -177,9 +313,17 @@ func (s *Sim) ObservablePPOs(goodState []sim.V3, nonSteady []bool, vectors [][]s
 // is the unmodified good machine. A machine whose PO word provably differs
 // from the good machine's is observable; the frame loop stops as soon as
 // every machine in the batch is resolved or the vectors run out.
+//
+// On the event-driven path the good machine runs scalar and the flipped
+// machines are a dual-rail overlay over it: only cones of still-diverging
+// state bits are evaluated per frame, and the replay stops once every
+// machine's state has collapsed onto the good one. The verdicts are
+// bit-identical to the full walk, where machine 63's rails are exactly
+// the broadcast of the scalar good values.
 func (s *Sim) observeBatch(goodState []sim.V3, batch []int, vectors [][]sim.V3, obs []bool) {
 	const goodBit = 63
 	frame, _ := s.scratch64()
+	net := s.net
 	stateV, stateK := s.stateV, s.stateK
 	for i, v := range goodState {
 		stateV[i], stateK[i] = sim.Broadcast64(v)
@@ -191,13 +335,17 @@ func (s *Sim) observeBatch(goodState []sim.V3, batch []int, vectors [][]sim.V3, 
 	for b := range batch {
 		live |= sim.Word(1) << uint(b)
 	}
+	if !s.fullEval {
+		s.observeBatchEvent(goodState, batch, vectors, obs, live)
+		return
+	}
 	for _, vec := range vectors {
-		s.net.LoadFrame64DR(frame, vec, nil)
-		for i, ff := range s.net.C.DFFs {
+		net.LoadFrame64DR(frame, vec, nil)
+		for i, ff := range net.C.DFFs {
 			frame.V[ff], frame.K[ff] = stateV[i], stateK[i]
 		}
-		s.net.Eval64DR(frame, nil)
-		for _, po := range s.net.C.POs {
+		net.Eval64DR(frame, nil)
+		for _, po := range net.C.POs {
 			v, k := frame.V[po], frame.K[po]
 			if k&(1<<goodBit) == 0 {
 				continue // good machine value unknown: no provable diff
@@ -220,7 +368,71 @@ func (s *Sim) observeBatch(goodState []sim.V3, batch []int, vectors [][]sim.V3, 
 				return
 			}
 		}
-		s.net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		net.NextState64DR(frame, nil, s.scratchV, s.scratchK)
+		stateV, stateK = s.scratchV, s.scratchK
+		s.scratchV, s.scratchK = s.stateV, s.stateK
+		s.stateV, s.stateK = stateV, stateK
+	}
+}
+
+// observeBatchEvent is observeBatch's selective-trace body. The flipped
+// machines' rails were installed in s.stateV/s.stateK by the caller.
+func (s *Sim) observeBatchEvent(goodState []sim.V3, batch []int, vectors [][]sim.V3, obs []bool, live sim.Word) {
+	frame, _ := s.scratch64()
+	net := s.net
+	c := net.C
+	gv, _ := s.scratchScalar()
+	g := append(s.gstate[:0], goodState...)
+	stateV, stateK := s.stateV, s.stateK
+	for _, vec := range vectors {
+		s.net.LoadFrameInto(gv, vec, g)
+		net.Eval3(gv, nil)
+		seeded := false
+		for i, ff := range c.DFFs {
+			bv, bk := sim.Broadcast64(gv[ff])
+			if stateV[i] != bv || stateK[i] != bk {
+				net.Overlay64Set(frame, ff, stateV[i], stateK[i])
+				seeded = true
+			}
+		}
+		if !seeded {
+			return // every machine's state equals the good machine's
+		}
+		net.Eval64DROverlay(frame, gv)
+		for _, po := range c.POs {
+			if !net.Overlay64Marked(po) {
+				continue
+			}
+			good := gv[po]
+			if !good.Known() {
+				continue // good machine value unknown: no provable diff
+			}
+			gw, _ := sim.Broadcast64(good)
+			diff := (frame.V[po] ^ gw) & frame.K[po] & live
+			if diff == 0 {
+				continue
+			}
+			for b := range batch {
+				if diff&(1<<uint(b)) != 0 {
+					obs[batch[b]] = true
+				}
+			}
+			live &^= diff
+			if live == 0 {
+				net.Overlay64Reset()
+				return
+			}
+		}
+		for i, ff := range c.DFFs {
+			d := c.Nodes[ff].Fanin[0]
+			if net.Overlay64Marked(d) {
+				s.scratchV[i], s.scratchK[i] = frame.V[d], frame.K[d]
+			} else {
+				s.scratchV[i], s.scratchK[i] = sim.Broadcast64(gv[d])
+			}
+			g[i] = gv[d]
+		}
+		net.Overlay64Reset()
 		stateV, stateK = s.scratchV, s.scratchK
 		s.scratchV, s.scratchK = s.stateV, s.stateK
 		s.stateV, s.stateK = stateV, stateK

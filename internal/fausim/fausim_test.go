@@ -190,12 +190,12 @@ func TestGoodReplayMatchesSeqSim(t *testing.T) {
 	}
 	a := s.GoodReplay(nil, vectors)
 	b := net.SeqSim3(nil, vectors)
-	if len(a) != len(b) {
+	if len(a.Steps) != len(b) {
 		t.Fatal("length mismatch")
 	}
-	for i := range a {
-		for j := range a[i].State {
-			if a[i].State[j] != b[i].State[j] {
+	for i := range a.Steps {
+		for j := range a.Steps[i].State {
+			if a.Steps[i].State[j] != b[i].State[j] {
 				t.Fatalf("state mismatch at frame %d", i)
 			}
 		}

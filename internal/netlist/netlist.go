@@ -230,6 +230,24 @@ func (c *Circuit) levelize() error {
 	return nil
 }
 
+// LevelOffsets returns the level-bucket boundaries of GateOrder: the
+// gates at combinational level l (1-based; level 0 holds the sources,
+// which are not in the order) are GateOrder()[off[l]:off[l+1]]. The
+// returned slice has MaxLevel()+2 entries so the indexing is total.
+// Event-driven simulation (internal/sim) uses the buckets as the
+// worklist levels of its selective-trace kernel.
+func (c *Circuit) LevelOffsets() []int32 {
+	max := c.MaxLevel()
+	off := make([]int32, max+2)
+	for _, id := range c.order {
+		off[c.Nodes[id].Level+1]++
+	}
+	for l := int32(1); l < max+2; l++ {
+		off[l] += off[l-1]
+	}
+	return off
+}
+
 // MaxLevel returns the deepest combinational level in the circuit.
 func (c *Circuit) MaxLevel() int32 {
 	var m int32

@@ -47,6 +47,12 @@ type propFrame struct {
 	assign   []sim.V5 // PI assignments (X5 = unassigned)
 	decision []propDecision
 	advanced bool // a deeper frame has been pushed from here
+
+	// vals caches the frame's evaluation; dirty lists the PI indices
+	// whose assignment changed since, so the next eval re-evaluates only
+	// their fanout cones (nil vals forces a full evaluation).
+	vals  []sim.V5
+	dirty []int
 }
 
 type propDecision struct {
@@ -63,6 +69,8 @@ type propSearch struct {
 	// the delay-fault flow, where the slow clock makes the machine fault
 	// free and the composite state carries the only good/faulty difference.
 	inject *sim.InjectStuck
+	// seeds is the scratch of the event-driven delta evaluation.
+	seeds []netlist.NodeID
 }
 
 func newAssign(n int) []sim.V5 {
@@ -98,10 +106,32 @@ func (p *propSearch) run() (*PropResult, Status) {
 	}
 }
 
+// eval brings the frame's cached evaluation up to date with its
+// assignment. The first evaluation of a frame walks the full circuit;
+// afterwards only the fanout cones of the PIs recorded in dirty are
+// re-evaluated — bit-identical to a fresh full walk, because a changed
+// PI can only affect its cone. The stuck-at flow (p.inject non-nil) and
+// the FullEval oracle stay on the full walk.
 func (p *propSearch) eval(f *propFrame) []sim.V5 {
-	vals := p.e.net.LoadFrame5(f.assign, f.state)
-	p.e.net.Eval5(vals, p.inject)
-	return vals
+	if p.e.opts.FullEval || p.inject != nil || f.vals == nil {
+		f.vals = p.e.net.LoadFrame5(f.assign, f.state)
+		p.e.net.Eval5(f.vals, p.inject)
+		f.dirty = f.dirty[:0]
+		return f.vals
+	}
+	if len(f.dirty) > 0 {
+		p.seeds = p.seeds[:0]
+		for _, pi := range f.dirty {
+			id := p.e.net.C.PIs[pi]
+			if f.vals[id] != f.assign[pi] {
+				f.vals[id] = f.assign[pi]
+				p.seeds = append(p.seeds, id)
+			}
+		}
+		p.e.net.Eval5Cone(f.vals, p.seeds)
+		f.dirty = f.dirty[:0]
+	}
+	return f.vals
 }
 
 func (p *propSearch) observedPO(vals []sim.V5) int {
@@ -130,6 +160,7 @@ func (p *propSearch) step(f *propFrame, vals []sim.V5) stepKind {
 		if pi, val := p.frontierObjective(f, vals); pi >= 0 {
 			f.decision = append(f.decision, propDecision{pi: pi, order: [2]sim.V5{val, invert5(val)}})
 			f.assign[pi] = val
+			f.dirty = append(f.dirty, pi)
 			return stepAssigned
 		}
 	}
@@ -321,12 +352,14 @@ func (p *propSearch) backtrack() bool {
 					return false
 				}
 				f.assign[d.pi] = d.order[d.next]
+				f.dirty = append(f.dirty, d.pi)
 				// The new assignment yields a new next state, so this
 				// frame may advance again.
 				f.advanced = false
 				return true
 			}
 			f.assign[d.pi] = sim.X5
+			f.dirty = append(f.dirty, d.pi)
 			f.decision = f.decision[:len(f.decision)-1]
 		}
 		if len(p.frames) == 1 {

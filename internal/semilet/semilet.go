@@ -69,6 +69,12 @@ type Options struct {
 	MaxFrames int
 	// Meas supplies shared testability measures; nil computes them.
 	Meas *testability.Measures
+	// FullEval forces the propagation search to re-evaluate every frame
+	// with the full levelized walk instead of the event-driven update of
+	// the changed PI's fanout cone. The searches are identical step for
+	// step (the delta evaluation is bit-identical by construction); the
+	// knob exists as the reference oracle.
+	FullEval bool
 }
 
 func (o Options) maxFrames() int {

@@ -41,6 +41,7 @@ type InjectDelay64 struct {
 	edgeFall  []Word // per edge: machines injecting slow-to-fall on the connection
 	stemNodes []netlist.NodeID
 	edges     []int
+	edgeNodes []netlist.NodeID // consumer of each entry in edges (event-kernel seeds)
 	hasStem   bool
 	hasBranch bool
 }
@@ -51,8 +52,8 @@ func (n *Net) NewInjectDelay64() *InjectDelay64 {
 		net:      n,
 		stemRise: make([]Word, len(n.C.Nodes)),
 		stemFall: make([]Word, len(n.C.Nodes)),
-		edgeRise: make([]Word, n.numEdges),
-		edgeFall: make([]Word, n.numEdges),
+		edgeRise: make([]Word, n.T.NumEdges()),
+		edgeFall: make([]Word, n.T.NumEdges()),
 	}
 }
 
@@ -66,13 +67,16 @@ func (i *InjectDelay64) Reset() {
 		i.edgeRise[e], i.edgeFall[e] = 0, 0
 	}
 	i.edges = i.edges[:0]
+	i.edgeNodes = i.edgeNodes[:0]
 	i.hasStem, i.hasBranch = false, false
 }
 
 // Add makes machine bit (0..63) inject a delay fault of the given
 // polarity at line l, mirroring InjectDelay semantics: the conversion of
 // the clean transition into the carrying value happens only at the fault
-// location (stem: the node's own value; branch: the one connection).
+// location (stem: the node's own value; branch: the one connection). The
+// fanout CSR resolves a branch line to its consumer and flat edge in
+// O(1).
 func (i *InjectDelay64) Add(bit uint, l netlist.Line, slowToRise bool) {
 	m := Word(1) << bit
 	if l.IsStem() {
@@ -87,24 +91,21 @@ func (i *InjectDelay64) Add(bit uint, l netlist.Line, slowToRise bool) {
 		i.hasStem = true
 		return
 	}
-	c := i.net.C
-	consumer := c.Nodes[l.Node].Fanout[l.Branch]
-	for pos, in := range c.Nodes[consumer].Fanin {
-		if in == l.Node && int(i.net.faninBranch[consumer][pos]) == l.Branch {
-			e := i.net.EdgeOf(consumer, pos)
-			if i.edgeRise[e]|i.edgeFall[e] == 0 {
-				i.edges = append(i.edges, e)
-			}
-			if slowToRise {
-				i.edgeRise[e] |= m
-			} else {
-				i.edgeFall[e] |= m
-			}
-			i.hasBranch = true
-			return
-		}
+	t := i.net.T
+	if l.Branch < 0 || int32(l.Branch) >= t.FanoutOff[l.Node+1]-t.FanoutOff[l.Node] {
+		panic("sim: InjectDelay64 branch line without a matching connection")
 	}
-	panic("sim: InjectDelay64 branch line without a matching connection")
+	consumer, e := t.BranchEdge(l.Node, l.Branch)
+	if i.edgeRise[e]|i.edgeFall[e] == 0 {
+		i.edges = append(i.edges, e)
+		i.edgeNodes = append(i.edgeNodes, consumer)
+	}
+	if slowToRise {
+		i.edgeRise[e] |= m
+	} else {
+		i.edgeFall[e] |= m
+	}
+	i.hasBranch = true
 }
 
 // excite returns the machines whose injection is excited by the plain
@@ -178,37 +179,35 @@ func carryStep(alg *logic.Algebra, t netlist.GateType, p, q logic.Value, Cp, Cq 
 // Carrying() bit a scalar Eval8 with machine k's InjectDelay would
 // produce. The injector must be non-nil (Reset it for an empty batch).
 func (n *Net) EvalCarry64(alg *logic.Algebra, vals []logic.Value, C []Word, inj *InjectDelay64) {
-	c := n.C
-	for _, pi := range c.PIs {
+	t := n.T
+	for _, pi := range t.C.PIs {
 		C[pi] = 0
 	}
-	for _, ff := range c.DFFs {
+	for _, ff := range t.C.DFFs {
 		C[ff] = 0
 	}
 	if inj.hasStem {
 		// A stem injection on a PI or PPI converts the source value before
 		// any consumer reads it (cf. Eval8).
 		for _, id := range inj.stemNodes {
-			if t := c.Nodes[id].Type; t == netlist.Input || t == netlist.DFF {
+			if typ := t.Types[id]; typ == netlist.Input || typ == netlist.DFF {
 				C[id] |= inj.stemExcite(id, vals[id])
 			}
 		}
 	}
 	// cbuf reuses the Net's 64-way fanin scratch (EvalCarry64 never runs
 	// concurrently with the dual-rail evaluators on one Net).
-	cbuf := n.ins64[:n.maxFanin]
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		nin := len(node.Fanin)
+	cbuf := n.ins64[:t.MaxFanin]
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		nin := int(end - beg)
 		var any Word
-		for pos, in := range node.Fanin {
-			cw := C[in]
-			if inj.hasBranch {
-				if e := n.EdgeOf(id, pos); inj.edgeRise[e]|inj.edgeFall[e] != 0 {
-					cw |= inj.edgeExcite(e, vals[in])
-				}
+		for k := beg; k < end; k++ {
+			cw := C[t.Fanin[k]]
+			if inj.hasBranch && inj.edgeRise[k]|inj.edgeFall[k] != 0 {
+				cw |= inj.edgeExcite(int(k), vals[t.Fanin[k]])
 			}
-			cbuf[pos] = cw
+			cbuf[k-beg] = cw
 			any |= cw
 		}
 		accC := cbuf[0]
@@ -220,11 +219,11 @@ func (n *Net) EvalCarry64(alg *logic.Algebra, vals []logic.Value, C []Word, inj 
 			// Gates without a carrying input skip the fold entirely — no
 			// machine can gain the effect there, and the plain table
 			// lookups are the dominant per-chunk cost on large circuits.
-			accP := vals[node.Fanin[0]]
+			accP := vals[t.Fanin[beg]]
 			for pos := 1; pos < nin; pos++ {
-				inP := vals[node.Fanin[pos]]
-				accC = carryStep(alg, node.Type, accP, inP, accC, cbuf[pos])
-				accP = core2(alg, node.Type, accP, inP)
+				inP := vals[t.Fanin[beg+int32(pos)]]
+				accC = carryStep(alg, t.Types[id], accP, inP, accC, cbuf[pos])
+				accP = core2(alg, t.Types[id], accP, inP)
 			}
 		}
 		if inj.hasStem && inj.stemRise[id]|inj.stemFall[id] != 0 {
@@ -242,15 +241,14 @@ func (n *Net) EvalCarry64(alg *logic.Algebra, vals []logic.Value, C []Word, inj 
 // i (fully specified, because the frame is). The returned word marks the
 // machines whose effect was captured at one or more PPOs.
 func (n *Net) NextStateCarry64(vals []logic.Value, C []Word, inj *InjectDelay64, faultyV []Word) Word {
-	c := n.C
+	t := n.T
 	var carried Word
-	for i, ff := range c.DFFs {
-		d := c.Nodes[ff].Fanin[0]
+	for i, ff := range t.C.DFFs {
+		e := t.FaninOff[ff]
+		d := t.Fanin[e]
 		cw := C[d]
-		if inj.hasBranch {
-			if e := n.EdgeOf(ff, 0); inj.edgeRise[e]|inj.edgeFall[e] != 0 {
-				cw |= inj.edgeExcite(e, vals[d])
-			}
+		if inj.hasBranch && inj.edgeRise[e]|inj.edgeFall[e] != 0 {
+			cw |= inj.edgeExcite(int(e), vals[d])
 		}
 		var bInit, bFin Word
 		if vals[d].Initial() == 1 {

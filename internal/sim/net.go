@@ -4,98 +4,88 @@
 // algebra) and 64-way bit-parallel 2-valued domains, plus sequential
 // (multi-frame) simulation with fault injection at stem or fanout-branch
 // granularity.
+//
+// The structural substrate is the immutable Topology (flat CSR edge
+// arrays, level buckets, cone bitsets), shared by all workers of a run.
+// A Net couples one Topology with per-worker scratch: fanin gather
+// buffers, the event-driven worklist, and the touched lists of the
+// sparse kernels. Every evaluator exists in two forms — the full
+// levelized walk over Topology.Order, and an event-driven selective-trace
+// variant (cone.go) that re-evaluates only the fanout cone of a set of
+// changed sources. The two are bit-identical by construction and by test.
 package sim
 
-import "fogbuster/internal/netlist"
+import (
+	"fogbuster/internal/logic"
+	"fogbuster/internal/netlist"
+)
 
-// Net is a precomputed simulation view of a circuit. It adds, for every
-// gate input position, the index of the corresponding fanout branch of the
-// driving node, so faults can be injected on individual branches.
-//
-// A Net carries reusable scratch buffers for the 64-way evaluators, so a
-// single Net must not be used from multiple goroutines concurrently;
-// build one Net per worker instead (construction is linear in the
-// circuit size).
+// Net is the per-worker simulation view of a circuit: the shared
+// Topology plus reusable scratch buffers. A Net must not be used from
+// multiple goroutines concurrently; build one Net per worker (NewNetOn
+// shares the Topology, so per-worker construction stays cheap).
 type Net struct {
-	C *netlist.Circuit
+	T *Topology
+	C *netlist.Circuit // == T.C, kept for the many existing call sites
 
-	// faninBranch[n][i] is the branch index b such that
-	// C.Node(fanin).Fanout[b] is exactly this connection.
-	faninBranch [][]int32
-
-	// edgeOff[n] is the index of node n's first fanin connection in a
-	// flat edge numbering (edge = edgeOff[n] + input position); numEdges
-	// is the total connection count. The 64-way injectors use it to
-	// address branch faults without per-gate map lookups.
-	edgeOff  []int32
-	numEdges int
-
-	// maxFanin sizes the per-Net evaluation scratch.
-	maxFanin int
-
-	// ins64 is the reusable fanin scratch for Eval64/Eval64DR, sized once
-	// from the circuit's maximum fanin instead of being re-derived (and
-	// potentially re-allocated) per gate per call.
+	// ins64 is the reusable fanin scratch for the 64-way evaluators,
+	// sized once from the circuit's maximum fanin; ins8 its counterpart
+	// for the scalar eight-valued walk, so Eval8 never allocates even
+	// for gates wider than any fixed stack buffer.
 	ins64 []Word
+	ins8  []logic.Value
+	ins3  []V3
+	ins5  []V5
+
+	// wl is the level-bucketed worklist of the event-driven kernels.
+	wl worklist
+
+	// Sparse-kernel bookkeeping. The carry kernel (EvalCarry64Cone) and
+	// the dual-rail overlay kernel (Eval64DROverlay) each track the nodes
+	// diverging from their baseline with a marked flag plus a touched
+	// list for O(touched) reset; the two sets are separate because
+	// ConfirmBatch runs both kernels within one chunk.
+	carryMarked  []bool
+	carryTouched []netlist.NodeID
+	ovMarked     []bool
+	ovTouched    []netlist.NodeID
 }
 
-// NewNet builds the simulation view. The construction mirrors the fanout
-// ordering of netlist: fanout entries are appended iterating nodes in ID
-// order and fanins in position order.
-func NewNet(c *netlist.Circuit) *Net {
-	n := &Net{
-		C:           c,
-		faninBranch: make([][]int32, len(c.Nodes)),
-		edgeOff:     make([]int32, len(c.Nodes)),
+// NewNet builds a simulation view with a private Topology. Prefer
+// NewNetOn when several workers simulate the same circuit.
+func NewNet(c *netlist.Circuit) *Net { return NewNetOn(NewTopology(c)) }
+
+// NewNetOn builds a per-worker view sharing the given Topology.
+func NewNetOn(t *Topology) *Net {
+	return &Net{
+		T:           t,
+		C:           t.C,
+		ins64:       make([]Word, 2*t.MaxFanin),
+		ins8:        make([]logic.Value, t.MaxFanin),
+		ins3:        make([]V3, t.MaxFanin),
+		ins5:        make([]V5, t.MaxFanin),
+		carryMarked: make([]bool, t.NumNodes()),
+		ovMarked:    make([]bool, t.NumNodes()),
 	}
-	counter := make([]int32, len(c.Nodes))
-	edges := 0
-	for i := range c.Nodes {
-		node := &c.Nodes[i]
-		n.edgeOff[i] = int32(edges)
-		edges += len(node.Fanin)
-		if len(node.Fanin) > n.maxFanin {
-			n.maxFanin = len(node.Fanin)
-		}
-		if len(node.Fanin) == 0 {
-			continue
-		}
-		br := make([]int32, len(node.Fanin))
-		for j, in := range node.Fanin {
-			br[j] = counter[in]
-			counter[in]++
-		}
-		n.faninBranch[i] = br
-	}
-	n.numEdges = edges
-	n.ins64 = make([]Word, 2*n.maxFanin)
-	return n
 }
 
 // EdgeOf returns the flat edge index of the connection feeding input
 // position pos of node id.
-func (n *Net) EdgeOf(id netlist.NodeID, pos int) int {
-	return int(n.edgeOff[id]) + pos
-}
+func (n *Net) EdgeOf(id netlist.NodeID, pos int) int { return n.T.EdgeOf(id, pos) }
 
 // NumEdges returns the total fanin connection count of the circuit.
-func (n *Net) NumEdges() int { return n.numEdges }
+func (n *Net) NumEdges() int { return n.T.NumEdges() }
 
 // BranchOf returns the fanout branch index of the connection feeding input
 // position pos of node id.
-func (n *Net) BranchOf(id netlist.NodeID, pos int) int {
-	return int(n.faninBranch[id][pos])
-}
+func (n *Net) BranchOf(id netlist.NodeID, pos int) int { return n.T.BranchOf(id, pos) }
 
 // OnLine reports whether the connection feeding input position pos of node
 // id lies on the given line: either the line is the driver's stem, or it is
 // exactly this branch.
 func (n *Net) OnLine(l netlist.Line, id netlist.NodeID, pos int) bool {
-	if n.C.Nodes[id].Fanin[pos] != l.Node {
-		return false
-	}
-	return l.IsStem() || int(n.faninBranch[id][pos]) == l.Branch
+	return n.T.OnLine(l, id, pos)
 }
 
 // NumNodes returns the node count of the underlying circuit.
-func (n *Net) NumNodes() int { return len(n.C.Nodes) }
+func (n *Net) NumNodes() int { return n.T.NumNodes() }

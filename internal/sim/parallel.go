@@ -51,23 +51,23 @@ func EvalGate64(t netlist.GateType, ins []Word) Word {
 // allocates; a Net must therefore not run Eval64 from two goroutines at
 // once.
 func (n *Net) Eval64(vals []Word) {
-	c := n.C
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		buf := n.ins64[:0]
-		for _, in := range node.Fanin {
-			buf = append(buf, vals[in])
+	t := n.T
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		buf := n.ins64[:end-beg]
+		for k := beg; k < end; k++ {
+			buf[k-beg] = vals[t.Fanin[k]]
 		}
-		vals[id] = EvalGate64(node.Type, buf)
+		vals[id] = EvalGate64(t.Types[id], buf)
 	}
 }
 
 // NextState64 extracts the PPO words after Eval64.
 func (n *Net) NextState64(vals []Word) []Word {
-	c := n.C
-	next := make([]Word, len(c.DFFs))
-	for i, ff := range c.DFFs {
-		next[i] = vals[c.Nodes[ff].Fanin[0]]
+	t := n.T
+	next := make([]Word, len(t.C.DFFs))
+	for i, ff := range t.C.DFFs {
+		next[i] = vals[t.Fanin[t.FaninOff[ff]]]
 	}
 	return next
 }
@@ -164,8 +164,8 @@ func (n *Net) NewInject64() *Inject64 {
 		net:        n,
 		stemMask:   make([]Word, len(n.C.Nodes)),
 		stemOnes:   make([]Word, len(n.C.Nodes)),
-		branchMask: make([]Word, n.numEdges),
-		branchOnes: make([]Word, n.numEdges),
+		branchMask: make([]Word, n.T.NumEdges()),
+		branchOnes: make([]Word, n.T.NumEdges()),
 	}
 }
 
@@ -203,20 +203,16 @@ func (i *Inject64) Add(bit uint, l netlist.Line, v V3) {
 		i.hasStem = true
 		return
 	}
-	c := i.net.C
-	consumer := c.Nodes[l.Node].Fanout[l.Branch]
-	for pos, in := range c.Nodes[consumer].Fanin {
-		if in == l.Node && int(i.net.faninBranch[consumer][pos]) == l.Branch {
-			e := i.net.EdgeOf(consumer, pos)
-			i.branchMask[e] |= m
-			if v == Hi {
-				i.branchOnes[e] |= m
-			}
-			i.hasBranch = true
-			return
-		}
+	t := i.net.T
+	if l.Branch < 0 || int32(l.Branch) >= t.FanoutOff[l.Node+1]-t.FanoutOff[l.Node] {
+		panic("sim: Inject64 branch line without a matching connection")
 	}
-	panic("sim: Inject64 branch line without a matching connection")
+	_, e := t.BranchEdge(l.Node, l.Branch)
+	i.branchMask[e] |= m
+	if v == Hi {
+		i.branchOnes[e] |= m
+	}
+	i.hasBranch = true
 }
 
 // force overwrites the masked machines with the injected constant.
@@ -284,30 +280,29 @@ func evalGate64DR(t netlist.GateType, insV, insK []Word) (Word, Word) {
 // overwritten. Scratch comes from the Net, so the call never allocates
 // and must not run concurrently on one Net.
 func (n *Net) Eval64DR(f *Frame64, inj *Inject64) {
-	c := n.C
-	insV := n.ins64[:n.maxFanin]
-	insK := n.ins64[n.maxFanin:]
+	t := n.T
+	insV := n.ins64[:t.MaxFanin]
+	insK := n.ins64[t.MaxFanin:]
 	if inj != nil && inj.hasStem {
 		// A stem injection on a PI or PPI overrides the source value
 		// itself, before any consumer reads it (cf. Eval3).
 		for _, id := range inj.stemNodes {
-			if t := c.Nodes[id].Type; t == netlist.Input || t == netlist.DFF {
+			if typ := t.Types[id]; typ == netlist.Input || typ == netlist.DFF {
 				f.V[id], f.K[id] = force(f.V[id], f.K[id], inj.stemMask[id], inj.stemOnes[id])
 			}
 		}
 	}
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		for pos, in := range node.Fanin {
-			v, k := f.V[in], f.K[in]
-			if inj != nil && inj.hasBranch {
-				if e := n.EdgeOf(id, pos); inj.branchMask[e] != 0 {
-					v, k = force(v, k, inj.branchMask[e], inj.branchOnes[e])
-				}
+	branch := inj != nil && inj.hasBranch
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		for k := beg; k < end; k++ {
+			v, kn := f.V[t.Fanin[k]], f.K[t.Fanin[k]]
+			if branch && inj.branchMask[k] != 0 {
+				v, kn = force(v, kn, inj.branchMask[k], inj.branchOnes[k])
 			}
-			insV[pos], insK[pos] = v, k
+			insV[k-beg], insK[k-beg] = v, kn
 		}
-		v, k := evalGate64DR(node.Type, insV[:len(node.Fanin)], insK[:len(node.Fanin)])
+		v, k := evalGate64DR(t.Types[id], insV[:end-beg], insK[:end-beg])
 		if inj != nil && inj.hasStem && inj.stemMask[id] != 0 {
 			v, k = force(v, k, inj.stemMask[id], inj.stemOnes[id])
 		}
@@ -318,14 +313,14 @@ func (n *Net) Eval64DR(f *Frame64, inj *Inject64) {
 // NextState64DR extracts the PPO rails after Eval64DR into nextV/nextK
 // (len(DFFs) each), respecting injections on DFF-feeding branches.
 func (n *Net) NextState64DR(f *Frame64, inj *Inject64, nextV, nextK []Word) {
-	c := n.C
-	for i, ff := range c.DFFs {
-		d := c.Nodes[ff].Fanin[0]
+	t := n.T
+	branch := inj != nil && inj.hasBranch
+	for i, ff := range t.C.DFFs {
+		e := t.FaninOff[ff]
+		d := t.Fanin[e]
 		v, k := f.V[d], f.K[d]
-		if inj != nil && inj.hasBranch {
-			if e := n.EdgeOf(ff, 0); inj.branchMask[e] != 0 {
-				v, k = force(v, k, inj.branchMask[e], inj.branchOnes[e])
-			}
+		if branch && inj.branchMask[e] != 0 {
+			v, k = force(v, k, inj.branchMask[e], inj.branchOnes[e])
 		}
 		nextV[i], nextK[i] = v, k
 	}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"sync"
+
+	"fogbuster/internal/netlist"
+)
+
+// Topology is the immutable, structure-of-arrays simulation view of a
+// circuit: flat CSR fanin/fanout edge arrays, the level-bucketed gate
+// order, and (lazily) per-stem fanout-cone membership bitsets. It holds
+// no scratch, so one Topology per circuit can be shared by any number of
+// worker Nets (core builds exactly one and hands it to every worker).
+//
+// The flat fanin index IS the edge number used by the 64-way injectors:
+// edge = FaninOff[id] + input position. Fanout entries mirror
+// netlist.Node.Fanout ordering exactly, so FanoutNode[FanoutOff[n]+b] is
+// the consumer of branch b of node n and FanoutEdge the flat edge that
+// connection feeds — branch faults resolve in O(1) instead of scanning
+// the consumer's fanin list.
+type Topology struct {
+	C *netlist.Circuit
+
+	// Fanin CSR: node id's connections are the flat indices
+	// FaninOff[id] .. FaninOff[id+1] into Fanin (the driving node) and
+	// FaninBranch (the driver's fanout branch this connection is).
+	FaninOff    []int32
+	Fanin       []netlist.NodeID
+	FaninBranch []int32
+
+	// Fanout CSR: branch b of node id is the entry FanoutOff[id]+b.
+	FanoutOff  []int32
+	FanoutNode []netlist.NodeID
+	FanoutEdge []int32
+
+	// Order is the topological gate order (Circuit.GateOrder); LevelOff
+	// buckets it by combinational level: gates at level l are
+	// Order[LevelOff[l]:LevelOff[l+1]]. Level holds every node's level.
+	Order    []netlist.NodeID
+	LevelOff []int32
+	Level    []int32
+
+	// Types is the per-node gate type, hoisted out of the Node structs so
+	// the evaluation loops touch only flat arrays.
+	Types []netlist.GateType
+
+	// MaxFanin sizes evaluation scratch; MaxLevel sizes the worklist.
+	MaxFanin int
+	MaxLevel int32
+
+	coneOnce  sync.Once
+	coneWords int
+	cone      []Word  // coneWords words per node, bit = node membership
+	coneGates []int32 // gates per cone (the event-kernel work bound)
+}
+
+// NewTopology builds the simulation view of the circuit. Construction is
+// linear in the circuit size; the cone bitsets are computed on first use.
+func NewTopology(c *netlist.Circuit) *Topology {
+	n := len(c.Nodes)
+	t := &Topology{
+		C:        c,
+		FaninOff: make([]int32, n+1),
+		Order:    c.GateOrder(),
+		LevelOff: c.LevelOffsets(),
+		Level:    make([]int32, n),
+		Types:    make([]netlist.GateType, n),
+		MaxLevel: c.MaxLevel(),
+	}
+	edges := 0
+	for i := range c.Nodes {
+		node := &c.Nodes[i]
+		t.FaninOff[i] = int32(edges)
+		edges += len(node.Fanin)
+		if len(node.Fanin) > t.MaxFanin {
+			t.MaxFanin = len(node.Fanin)
+		}
+		t.Level[i] = node.Level
+		t.Types[i] = node.Type
+	}
+	t.FaninOff[n] = int32(edges)
+
+	t.Fanin = make([]netlist.NodeID, edges)
+	t.FaninBranch = make([]int32, edges)
+	t.FanoutOff = make([]int32, n+1)
+	t.FanoutNode = make([]netlist.NodeID, edges)
+	t.FanoutEdge = make([]int32, edges)
+	off := int32(0)
+	for i := range c.Nodes {
+		t.FanoutOff[i] = off
+		off += int32(len(c.Nodes[i].Fanout))
+	}
+	t.FanoutOff[n] = off
+	// The branch numbering must mirror netlist's fanout construction:
+	// connections enumerated by consumer ID, then input position.
+	counter := make([]int32, n)
+	for i := range c.Nodes {
+		node := &c.Nodes[i]
+		for pos, in := range node.Fanin {
+			e := t.FaninOff[i] + int32(pos)
+			b := counter[in]
+			counter[in]++
+			t.Fanin[e] = in
+			t.FaninBranch[e] = b
+			t.FanoutNode[t.FanoutOff[in]+b] = netlist.NodeID(i)
+			t.FanoutEdge[t.FanoutOff[in]+b] = e
+		}
+	}
+	return t
+}
+
+// NumNodes returns the node count of the underlying circuit.
+func (t *Topology) NumNodes() int { return len(t.C.Nodes) }
+
+// NumEdges returns the total fanin connection count of the circuit.
+func (t *Topology) NumEdges() int { return len(t.Fanin) }
+
+// EdgeOf returns the flat edge index of the connection feeding input
+// position pos of node id.
+func (t *Topology) EdgeOf(id netlist.NodeID, pos int) int {
+	return int(t.FaninOff[id]) + pos
+}
+
+// BranchOf returns the fanout branch index of the connection feeding
+// input position pos of node id.
+func (t *Topology) BranchOf(id netlist.NodeID, pos int) int {
+	return int(t.FaninBranch[int(t.FaninOff[id])+pos])
+}
+
+// BranchEdge returns the consumer node and flat edge index of fanout
+// branch b of node id, in O(1) via the fanout CSR.
+func (t *Topology) BranchEdge(id netlist.NodeID, b int) (netlist.NodeID, int) {
+	k := t.FanoutOff[id] + int32(b)
+	return t.FanoutNode[k], int(t.FanoutEdge[k])
+}
+
+// OnLine reports whether the connection feeding input position pos of
+// node id lies on the given line: either the line is the driver's stem,
+// or it is exactly this branch.
+func (t *Topology) OnLine(l netlist.Line, id netlist.NodeID, pos int) bool {
+	e := int(t.FaninOff[id]) + pos
+	if t.Fanin[e] != l.Node {
+		return false
+	}
+	return l.IsStem() || int(t.FaninBranch[e]) == l.Branch
+}
+
+// lineEdge resolves an injection line to the flat edge it sits on, or -1
+// for a stem line (which converts the driver's value, not a connection)
+// and for an out-of-range branch — the latter matches the pre-CSR
+// behavior, where a dangling branch line simply never matched any
+// connection and the injection was a no-op.
+func (t *Topology) lineEdge(l netlist.Line) int {
+	if l.IsStem() || l.Branch < 0 || int32(l.Branch) >= t.FanoutOff[l.Node+1]-t.FanoutOff[l.Node] {
+		return -1
+	}
+	return int(t.FanoutEdge[t.FanoutOff[l.Node]+int32(l.Branch)])
+}
+
+// buildCones computes, for every node, the membership bitset of its
+// fanout cone: the node itself plus every combinational gate whose value
+// can depend on the node's stem. Flip-flop consumers do not extend a
+// cone — the frame boundary stops the event wave, exactly as it stops
+// the levelized evaluation. One reverse-topological sweep OR-folds each
+// gate's cone into its drivers'.
+func (t *Topology) buildCones() {
+	n := t.NumNodes()
+	t.coneWords = (n + 63) / 64
+	t.cone = make([]Word, n*t.coneWords)
+	for i := 0; i < n; i++ {
+		t.cone[i*t.coneWords+i/64] |= 1 << uint(i%64)
+	}
+	for i := len(t.Order) - 1; i >= 0; i-- {
+		g := int(t.Order[i])
+		src := t.cone[g*t.coneWords : (g+1)*t.coneWords]
+		for e := t.FaninOff[g]; e < t.FaninOff[g+1]; e++ {
+			in := int(t.Fanin[e])
+			dst := t.cone[in*t.coneWords : (in+1)*t.coneWords]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+	t.coneGates = make([]int32, n)
+	for i := 0; i < n; i++ {
+		count := int32(0)
+		row := t.cone[i*t.coneWords : (i+1)*t.coneWords]
+		for _, g := range t.Order {
+			if row[int(g)/64]&(1<<uint(int(g)%64)) != 0 {
+				count++
+			}
+		}
+		t.coneGates[i] = count
+	}
+}
+
+// InCone reports whether node id lies in the fanout cone of src (src
+// itself included). The bitsets are built on first use and shared.
+func (t *Topology) InCone(src, id netlist.NodeID) bool {
+	t.coneOnce.Do(t.buildCones)
+	return t.cone[int(src)*t.coneWords+int(id)/64]&(1<<uint(int(id)%64)) != 0
+}
+
+// ConeGates returns the number of combinational gates in the fanout cone
+// of node id's stem — the work bound of one event-driven re-evaluation
+// seeded there, and the quantity whose distribution (against the total
+// gate count) predicts the selective-trace speedup.
+func (t *Topology) ConeGates(id netlist.NodeID) int {
+	t.coneOnce.Do(t.buildCones)
+	return int(t.coneGates[id])
+}

@@ -118,32 +118,38 @@ type Inject3 struct {
 // Eval3 evaluates the combinational block. vals must hold the PI and PPI
 // values at their node indices on entry; all other entries are overwritten.
 // A stem injection replaces the node's value outright; a branch injection
-// is applied only on the faulty connection.
+// is applied only on the faulty connection. The walk iterates the flat
+// CSR topology and gathers fanins into Net scratch, so it never
+// allocates.
 func (n *Net) Eval3(vals []V3, inj *Inject3) {
-	c := n.C
-	var ins [16]V3
-	// A stem injection on a PI or PPI overrides the source value itself,
-	// before any consumer reads it.
-	if inj != nil && inj.Line.IsStem() {
-		if t := c.Nodes[inj.Line.Node].Type; t == netlist.Input || t == netlist.DFF {
-			vals[inj.Line.Node] = inj.Value
+	t := n.T
+	injEdge := -1
+	stem := netlist.None
+	if inj != nil {
+		if inj.Line.IsStem() {
+			stem = inj.Line.Node
+			// A stem injection on a PI or PPI overrides the source value
+			// itself, before any consumer reads it.
+			if typ := t.Types[stem]; typ == netlist.Input || typ == netlist.DFF {
+				vals[stem] = inj.Value
+			}
+		} else {
+			injEdge = t.lineEdge(inj.Line)
 		}
 	}
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		buf := ins[:0]
-		if len(node.Fanin) > len(ins) {
-			buf = make([]V3, 0, len(node.Fanin))
-		}
-		for pos, in := range node.Fanin {
-			v := vals[in]
-			if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, id, pos) {
+	ins := n.ins3
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		buf := ins[:end-beg]
+		for k := beg; k < end; k++ {
+			v := vals[t.Fanin[k]]
+			if int(k) == injEdge {
 				v = inj.Value
 			}
-			buf = append(buf, v)
+			buf[k-beg] = v
 		}
-		v := EvalGate3(node.Type, buf)
-		if inj != nil && inj.Line.IsStem() && inj.Line.Node == id {
+		v := EvalGate3(t.Types[id], buf)
+		if id == stem {
 			v = inj.Value
 		}
 		vals[id] = v
@@ -153,12 +159,16 @@ func (n *Net) Eval3(vals []V3, inj *Inject3) {
 // NextState3 extracts the PPO values (the next state) after Eval3. A stem
 // or DFF-feeding branch injection on the PPO connection is respected.
 func (n *Net) NextState3(vals []V3, inj *Inject3) []V3 {
-	c := n.C
-	next := make([]V3, len(c.DFFs))
-	for i, ff := range c.DFFs {
-		d := c.Nodes[ff].Fanin[0]
-		v := vals[d]
-		if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, ff, 0) {
+	t := n.T
+	injEdge := -1
+	if inj != nil && !inj.Line.IsStem() {
+		injEdge = t.lineEdge(inj.Line)
+	}
+	next := make([]V3, len(t.C.DFFs))
+	for i, ff := range t.C.DFFs {
+		e := t.FaninOff[ff]
+		v := vals[t.Fanin[e]]
+		if int(e) == injEdge {
 			v = inj.Value
 		}
 		next[i] = v
@@ -180,8 +190,16 @@ func (n *Net) Outputs3(vals []V3) []V3 {
 // leaving gate entries at Lo (they are overwritten by Eval3). vector and
 // state use PI/DFF declaration order; a nil vector or state means all-X.
 func (n *Net) LoadFrame(vector, state []V3) []V3 {
+	vals := make([]V3, len(n.C.Nodes))
+	n.LoadFrameInto(vals, vector, state)
+	return vals
+}
+
+// LoadFrameInto is LoadFrame writing into a caller-owned buffer of
+// len(Nodes), for allocation-free frame loops. Gate entries are left
+// untouched: Eval3 overwrites every one of them.
+func (n *Net) LoadFrameInto(vals []V3, vector, state []V3) {
 	c := n.C
-	vals := make([]V3, len(c.Nodes))
 	for i, pi := range c.PIs {
 		if vector == nil {
 			vals[pi] = X
@@ -196,5 +214,4 @@ func (n *Net) LoadFrame(vector, state []V3) []V3 {
 			vals[ff] = state[i]
 		}
 	}
-	return vals
 }

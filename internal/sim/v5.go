@@ -104,28 +104,32 @@ func EvalGate5(t netlist.GateType, ins []V5) V5 {
 // standalone sequential stuck-at generator, where the fault is present in
 // every time frame).
 func (n *Net) Eval5(vals []V5, stuck *InjectStuck) {
-	c := n.C
-	var ins [16]V5
-	if stuck != nil && stuck.Line.IsStem() {
-		if t := c.Nodes[stuck.Line.Node].Type; t == netlist.Input || t == netlist.DFF {
-			vals[stuck.Line.Node] = stuck.apply(vals[stuck.Line.Node])
+	t := n.T
+	injEdge := -1
+	stem := netlist.None
+	if stuck != nil {
+		if stuck.Line.IsStem() {
+			stem = stuck.Line.Node
+			if typ := t.Types[stem]; typ == netlist.Input || typ == netlist.DFF {
+				vals[stem] = stuck.apply(vals[stem])
+			}
+		} else {
+			injEdge = t.lineEdge(stuck.Line)
 		}
 	}
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		buf := ins[:0]
-		if len(node.Fanin) > len(ins) {
-			buf = make([]V5, 0, len(node.Fanin))
-		}
-		for pos, in := range node.Fanin {
-			v := vals[in]
-			if stuck != nil && !stuck.Line.IsStem() && n.OnLine(stuck.Line, id, pos) {
+	ins := n.ins5
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		buf := ins[:end-beg]
+		for k := beg; k < end; k++ {
+			v := vals[t.Fanin[k]]
+			if int(k) == injEdge {
 				v = stuck.apply(v)
 			}
-			buf = append(buf, v)
+			buf[k-beg] = v
 		}
-		v := EvalGate5(node.Type, buf)
-		if stuck != nil && stuck.Line.IsStem() && stuck.Line.Node == id {
+		v := EvalGate5(t.Types[id], buf)
+		if id == stem {
 			v = stuck.apply(v)
 		}
 		vals[id] = v
@@ -143,12 +147,16 @@ func (s *InjectStuck) apply(v V5) V5 { return FromPair(v.Good(), s.Stuck) }
 // NextState5 extracts the PPO values after Eval5, respecting a stuck
 // injection on a DFF-feeding connection.
 func (n *Net) NextState5(vals []V5, stuck *InjectStuck) []V5 {
-	c := n.C
-	next := make([]V5, len(c.DFFs))
-	for i, ff := range c.DFFs {
-		d := c.Nodes[ff].Fanin[0]
-		v := vals[d]
-		if stuck != nil && !stuck.Line.IsStem() && n.OnLine(stuck.Line, ff, 0) {
+	t := n.T
+	injEdge := -1
+	if stuck != nil && !stuck.Line.IsStem() {
+		injEdge = t.lineEdge(stuck.Line)
+	}
+	next := make([]V5, len(t.C.DFFs))
+	for i, ff := range t.C.DFFs {
+		e := t.FaninOff[ff]
+		v := vals[t.Fanin[e]]
+		if int(e) == injEdge {
 			v = stuck.apply(v)
 		}
 		next[i] = v

@@ -28,29 +28,35 @@ func (d *InjectDelay) apply(v logic.Value) logic.Value {
 // Eval8 evaluates the combinational block in the eight-valued two-frame
 // algebra. vals must hold PI and PPI values on entry (normally from
 // LoadFrame8). The optional injection excites a delay fault at its site.
+// The fanin scratch lives on the Net (sized once from the topology's
+// maximum fanin), so the walk never allocates.
 func (n *Net) Eval8(alg *logic.Algebra, vals []logic.Value, inj *InjectDelay) {
-	c := n.C
-	var ins [16]logic.Value
-	if inj != nil && inj.Line.IsStem() {
-		if t := c.Nodes[inj.Line.Node].Type; t == netlist.Input || t == netlist.DFF {
-			vals[inj.Line.Node] = inj.apply(vals[inj.Line.Node])
+	t := n.T
+	injEdge := -1
+	stem := netlist.None
+	if inj != nil {
+		if inj.Line.IsStem() {
+			stem = inj.Line.Node
+			if typ := t.Types[stem]; typ == netlist.Input || typ == netlist.DFF {
+				vals[stem] = inj.apply(vals[stem])
+			}
+		} else {
+			injEdge = t.lineEdge(inj.Line)
 		}
 	}
-	for _, id := range c.GateOrder() {
-		node := &c.Nodes[id]
-		buf := ins[:0]
-		if len(node.Fanin) > len(ins) {
-			buf = make([]logic.Value, 0, len(node.Fanin))
-		}
-		for pos, in := range node.Fanin {
-			v := vals[in]
-			if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, id, pos) {
+	ins := n.ins8
+	for _, id := range t.Order {
+		beg, end := t.FaninOff[id], t.FaninOff[id+1]
+		buf := ins[:end-beg]
+		for k := beg; k < end; k++ {
+			v := vals[t.Fanin[k]]
+			if int(k) == injEdge {
 				v = inj.apply(v)
 			}
-			buf = append(buf, v)
+			buf[k-beg] = v
 		}
-		v := alg.Eval(node.Type, buf)
-		if inj != nil && inj.Line.IsStem() && inj.Line.Node == id {
+		v := alg.Eval(t.Types[id], buf)
+		if id == stem {
 			v = inj.apply(v)
 		}
 		vals[id] = v
@@ -68,11 +74,15 @@ func (n *Net) NextState8(vals []logic.Value, inj *InjectDelay) []logic.Value {
 // NextState8Into is NextState8 writing into a caller-owned buffer of
 // len(DFFs), for allocation-free inner loops.
 func (n *Net) NextState8Into(next []logic.Value, vals []logic.Value, inj *InjectDelay) {
-	c := n.C
-	for i, ff := range c.DFFs {
-		d := c.Nodes[ff].Fanin[0]
-		v := vals[d]
-		if inj != nil && !inj.Line.IsStem() && n.OnLine(inj.Line, ff, 0) {
+	t := n.T
+	injEdge := -1
+	if inj != nil && !inj.Line.IsStem() {
+		injEdge = t.lineEdge(inj.Line)
+	}
+	for i, ff := range t.C.DFFs {
+		e := t.FaninOff[ff]
+		v := vals[t.Fanin[e]]
+		if int(e) == injEdge {
 			v = inj.apply(v)
 		}
 		next[i] = v

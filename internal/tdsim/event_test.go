@@ -1,0 +1,88 @@
+package tdsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fogbuster/internal/faults"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/sim"
+)
+
+// TestConfirmEventMatchesFullEval: the event-driven Confirm (copy of the
+// good values plus a selective trace of the fault cone, overlay replay
+// for PPO-observed effects) returns exactly the full-eval verdict for
+// every fault of the universe, over random concrete frames, under both
+// algebras.
+func TestConfirmEventMatchesFullEval(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for _, c := range batchCircuits(t) {
+		net := sim.NewNet(c)
+		netRef := sim.NewNet(c)
+		all := faults.AllDelay(c)
+		for _, alg := range []*logic.Algebra{logic.Robust, logic.NonRobust} {
+			evt := New(net, alg)
+			full := New(netRef, alg)
+			full.SetFullEval(true)
+			rng := rand.New(rand.NewSource(int64(len(all))))
+			for trial := 0; trial < trials; trial++ {
+				ff := randomFrame(c, net, rng, trial%4)
+				vals := evt.Values(ff)
+				goodS2 := make([]sim.V3, len(c.DFFs))
+				for i, ppo := range c.PPOs() {
+					goodS2[i] = sim.V3(vals[ppo].Final())
+				}
+				for _, f := range all {
+					got := evt.Confirm(ff, vals, goodS2, f)
+					want := full.Confirm(ff, vals, goodS2, f)
+					if got != want {
+						t.Fatalf("%s/%s trial %d fault %s: event %v, full %v",
+							c.Name, alg.Name(), trial, f.Name(c), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDetectEventMatchesFullEval: the whole per-test analysis — phase-2
+// observability, CPT candidates, batched confirmation — returns the same
+// fault list on the event-driven and full-eval paths.
+func TestDetectEventMatchesFullEval(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	sawDetection := false
+	for _, c := range batchCircuits(t) {
+		net := sim.NewNet(c)
+		netRef := sim.NewNet(c)
+		evt := New(net, logic.Robust)
+		full := New(netRef, logic.Robust)
+		full.SetFullEval(true)
+		rng := rand.New(rand.NewSource(int64(len(c.Nodes))))
+		for trial := 0; trial < trials; trial++ {
+			ff := randomFrame(c, net, rng, 1+trial%3)
+			got := evt.Detect(ff, nil)
+			want := full.Detect(ff, nil)
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: event %d faults, full %d", c.Name, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d position %d: event %s, full %s",
+						c.Name, trial, i, got[i].Name(c), want[i].Name(c))
+				}
+			}
+			if len(got) > 0 {
+				sawDetection = true
+			}
+		}
+	}
+	if !sawDetection {
+		t.Error("no detections on any circuit; differential test inert")
+	}
+}

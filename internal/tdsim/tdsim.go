@@ -37,6 +37,12 @@ type Sim struct {
 	alg *logic.Algebra
 	fs  *fausim.Sim
 
+	// fullEval forces the full levelized walks instead of the
+	// event-driven selective-trace kernels. The two are bit-identical
+	// (TestConfirmEventMatchesFullEval and the engine-level invariance
+	// suite); the flag exists as the reference oracle.
+	fullEval bool
+
 	// Scratch reused across Confirm calls (one Eval8 pass per candidate
 	// fault runs on these instead of fresh allocations).
 	vals8    []logic.Value
@@ -64,6 +70,18 @@ func New(net *sim.Net, alg *logic.Algebra) *Sim {
 		carry:    make([]sim.Word, len(net.C.Nodes)),
 		faultyV:  make([]sim.Word, len(net.C.DFFs)),
 		injD:     net.NewInjectDelay64(),
+	}
+}
+
+// SetFullEval selects between the event-driven confirmation kernels
+// (default) and the full levelized reference walks, for this Sim and its
+// embedded sequence simulator. The carry rail is re-zeroed so the
+// event path's all-zero baseline holds even when toggling mid-life.
+func (s *Sim) SetFullEval(on bool) {
+	s.fullEval = on
+	s.fs.SetFullEval(on)
+	for i := range s.carry {
+		s.carry[i] = 0
 	}
 }
 
@@ -164,7 +182,7 @@ func (s *Sim) detect(ff *FastFrame, skip func(faults.Delay) bool, batched bool) 
 // corresponding scalar Confirm call (pinned by
 // TestConfirmBatchMatchesScalar).
 func (s *Sim) ConfirmBatch(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, cands []faults.Delay, out []bool) {
-	var goods []sim.Step
+	var goods *fausim.Replay
 	for base := 0; base < len(cands); base += 64 {
 		chunk := cands[base:]
 		if len(chunk) > 64 {
@@ -174,7 +192,15 @@ func (s *Sim) ConfirmBatch(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V
 		for b, f := range chunk {
 			s.injD.Add(uint(b), f.Line, f.Type == faults.SlowToRise)
 		}
-		s.net.EvalCarry64(s.alg, goodVals, s.carry, s.injD)
+		if s.fullEval {
+			s.net.EvalCarry64(s.alg, goodVals, s.carry, s.injD)
+		} else {
+			// Event-driven: the carry rail is zero outside the union of
+			// the 64 injection sites' fanout cones, so only those cones
+			// are folded; s.carry keeps an all-zero baseline between
+			// chunks (restored below).
+			s.net.EvalCarry64Cone(s.alg, goodVals, s.carry, s.injD)
+		}
 
 		// Robust observation at a PO in the fast frame.
 		var det sim.Word
@@ -188,6 +214,11 @@ func (s *Sim) ConfirmBatch(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V
 		// never set a carry bit, so the tail bits of a short final chunk
 		// stay silent.
 		carried := s.net.NextStateCarry64(goodVals, s.carry, s.injD, s.faultyV)
+		if !s.fullEval {
+			// The carry rail is consumed; restore the all-zero baseline
+			// before the replay below reuses the Net's overlay kernel.
+			s.net.ResetCarry64(s.carry)
+		}
 		if need := carried &^ det; need != 0 && len(ff.Prop) > 0 {
 			if goods == nil {
 				goods = s.fs.GoodReplay(goodS2, ff.Prop)
@@ -202,12 +233,20 @@ func (s *Sim) ConfirmBatch(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V
 
 // Confirm checks one fault exactly against the applied test: injection in
 // the fast frame, direct PO observation, and otherwise replay of the
-// propagation frames with the corrupted captured state.
+// propagation frames with the corrupted captured state. By default the
+// faulty machine is derived from the good-machine values the caller
+// already holds — one copy plus a selective trace of the fault site's
+// fanout cone — instead of a full re-evaluation of the frame.
 func (s *Sim) Confirm(ff *FastFrame, goodVals []logic.Value, goodS2 []sim.V3, f faults.Delay) bool {
 	inj := &sim.InjectDelay{Line: f.Line, SlowToRise: f.Type == faults.SlowToRise}
 	vals := s.vals8
-	s.net.LoadFrame8Into(vals, ff.V1, ff.V2, ff.S0, ff.S1)
-	s.net.Eval8(s.alg, vals, inj)
+	if s.fullEval {
+		s.net.LoadFrame8Into(vals, ff.V1, ff.V2, ff.S0, ff.S1)
+		s.net.Eval8(s.alg, vals, inj)
+	} else {
+		copy(vals, goodVals)
+		s.net.Eval8Cone(s.alg, vals, inj)
+	}
 
 	// Robust observation at a PO in the fast frame.
 	for _, po := range s.net.C.POs {
