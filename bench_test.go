@@ -67,7 +67,7 @@ func BenchmarkTable3(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var tested int
 			for i := 0; i < b.N; i++ {
-				sum := core.New(c, core.Options{}).Run()
+				sum := core.MustNew(c, core.Options{}).Run()
 				tested = sum.Tested
 			}
 			b.ReportMetric(float64(tested), "tested")
@@ -86,7 +86,7 @@ func BenchmarkTable3Parallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				for _, name := range table3Set {
 					c := bench.ProfileByName(name).Circuit()
-					core.New(c, core.Options{Workers: workers}).Run()
+					core.MustNew(c, core.Options{Workers: workers}).Run()
 				}
 			}
 		})
@@ -163,7 +163,7 @@ func BenchmarkFOGBUSTER(b *testing.B) {
 		c := bench.ProfileByName(name).Circuit()
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.New(c, core.Options{DisableFaultSim: true}).Run()
+				core.MustNew(c, core.Options{DisableFaultSim: true}).Run()
 			}
 		})
 	}
@@ -178,7 +178,7 @@ func BenchmarkFOGBUSTERParallel(b *testing.B) {
 		for _, workers := range []int{1, runtime.NumCPU()} {
 			b.Run(fmt.Sprintf("%s/workers-%d", name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					core.New(c, core.Options{DisableFaultSim: true, Workers: workers}).Run()
+					core.MustNew(c, core.Options{DisableFaultSim: true, Workers: workers}).Run()
 				}
 			})
 		}
@@ -212,7 +212,7 @@ func BenchmarkOrderingATPG(b *testing.B) {
 			b.Run(name+"/"+h.Name(), func(b *testing.B) {
 				var explicit, patterns int
 				for i := 0; i < b.N; i++ {
-					sum := core.New(c, core.Options{Order: h}).Run()
+					sum := core.MustNew(c, core.Options{Order: h}).Run()
 					explicit, patterns = sum.Explicit, sum.Patterns
 				}
 				b.ReportMetric(float64(explicit), "explicit")
@@ -231,7 +231,7 @@ func BenchmarkCompactionATPG(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var before, after int
 			for i := 0; i < b.N; i++ {
-				sum := core.New(c, core.Options{Compact: true}).Run()
+				sum := core.MustNew(c, core.Options{Compact: true}).Run()
 				st := compact.Apply(c, sum, compact.Options{})
 				before, after = st.PatternsBefore, st.PatternsAfter
 			}
@@ -249,7 +249,7 @@ func BenchmarkCompactionApply(b *testing.B) {
 	b.Run("s386", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			sum := core.New(c, core.Options{Compact: true}).Run()
+			sum := core.MustNew(c, core.Options{Compact: true}).Run()
 			b.StartTimer()
 			compact.Apply(c, sum, compact.Options{})
 		}
@@ -265,8 +265,8 @@ func BenchmarkAblationNonRobust(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var rob, non int
 			for i := 0; i < b.N; i++ {
-				rob = core.New(c, core.Options{}).Run().Untestable
-				non = core.New(c, core.Options{Algebra: logic.NonRobust}).Run().Untestable
+				rob = core.MustNew(c, core.Options{}).Run().Untestable
+				non = core.MustNew(c, core.Options{Algebra: logic.NonRobust}).Run().Untestable
 			}
 			b.ReportMetric(float64(rob), "untestable-robust")
 			b.ReportMetric(float64(non), "untestable-nonrobust")
@@ -284,8 +284,8 @@ func BenchmarkAblationStrictInit(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var assume, strict int
 			for i := 0; i < b.N; i++ {
-				assume = core.New(c, core.Options{}).Run().Tested
-				strict = core.New(c, core.Options{StrictInit: true}).Run().Tested
+				assume = core.MustNew(c, core.Options{}).Run().Tested
+				strict = core.MustNew(c, core.Options{StrictInit: true}).Run().Tested
 			}
 			b.ReportMetric(float64(assume), "tested-assumed")
 			b.ReportMetric(float64(strict), "tested-strict")
@@ -457,8 +457,8 @@ func BenchmarkAblationTimedHandoff(b *testing.B) {
 	b.Run("s298", func(b *testing.B) {
 		var rob, timed int
 		for i := 0; i < b.N; i++ {
-			rob = core.New(c, core.Options{}).Run().Untestable
-			timed = core.New(c, core.Options{VariationBudget: 1}).Run().Untestable
+			rob = core.MustNew(c, core.Options{}).Run().Untestable
+			timed = core.MustNew(c, core.Options{VariationBudget: 1}).Run().Untestable
 		}
 		b.ReportMetric(float64(rob), "untestable-robust")
 		b.ReportMetric(float64(timed), "untestable-timed")

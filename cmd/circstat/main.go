@@ -2,9 +2,10 @@
 // circuits: either .bench files given as arguments, or (with no
 // arguments) the full Table 3 benchmark set. File mode additionally
 // reports the per-level gate histogram and the fanout-cone size
-// distribution from the CSR topology — the numbers that predict how much
-// the event-driven selective-trace kernel saves over full levelized
-// simulation (small median cone = large win).
+// distribution — the numbers that predict how much the event-driven
+// selective-trace kernel saves over full levelized simulation (small
+// median cone = large win). It consumes the circuit model exclusively
+// through the public fogbuster/pkg/atpg API.
 package main
 
 import (
@@ -12,11 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/netlist"
-	"fogbuster/internal/sim"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
@@ -45,21 +43,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			"circuit", "pi", "po", "dff", "gates", "stems", "branches", "lines", "faults", "depth",
 			"cmin%", "cmed%", "cmax%")
 		matched := 0
-		for _, p := range bench.Profiles {
-			if *only != "" && p.Name != *only {
+		for _, b := range atpg.Benchmarks() {
+			if *only != "" && b.Name != *only {
 				continue
 			}
 			matched++
-			c := p.Circuit()
+			c, err := atpg.Benchmark(b.Name)
+			if err != nil {
+				fmt.Fprintf(stderr, "circstat: %v\n", err)
+				return 1
+			}
 			s := c.Stats()
 			note := " (synthetic)"
-			if p.Exact {
+			if b.Exact {
 				note = " (exact)"
 			}
-			lo, med, hi := coneDistribution(sim.NewTopology(c))
+			lo, med, hi := c.ConeSizes()
 			g := float64(s.Gates)
 			fmt.Fprintf(stdout, "%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d %5.1f%% %5.1f%% %5.1f%%%s\n",
-				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, 2*s.Lines, s.MaxLevel,
+				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, s.Faults, s.MaxLevel,
 				100*float64(lo)/g, 100*float64(med)/g, 100*float64(hi)/g, note)
 		}
 		if matched == 0 {
@@ -69,12 +71,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	for _, path := range fs.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "circstat: %v\n", err)
-			return 1
-		}
-		c, err := netlist.Parse(path, string(data))
+		c, err := atpg.LoadBench(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "circstat: %v\n", err)
 			return 1
@@ -86,28 +83,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 }
 
 // topoReport prints the per-level gate histogram and the fanout-cone
-// size distribution of the circuit's CSR topology.
-func topoReport(w io.Writer, c *netlist.Circuit) {
-	t := sim.NewTopology(c)
+// size distribution of the circuit.
+func topoReport(w io.Writer, c *atpg.Circuit) {
 	fmt.Fprintf(w, "  gates per level:")
-	for l := int32(1); l <= t.MaxLevel; l++ {
-		fmt.Fprintf(w, " %d:%d", l, t.LevelOff[l+1]-t.LevelOff[l])
+	for l, n := range c.GatesPerLevel() {
+		fmt.Fprintf(w, " %d:%d", l+1, n)
 	}
 	fmt.Fprintln(w)
-	lo, med, hi := coneDistribution(t)
-	g := c.NumGates()
+	lo, med, hi := c.ConeSizes()
+	g := c.Stats().Gates
 	fmt.Fprintf(w, "  fanout cones (gates): min %d median %d max %d of %d (%.1f%% / %.1f%% / %.1f%%)\n",
 		lo, med, hi, g,
 		100*float64(lo)/float64(g), 100*float64(med)/float64(g), 100*float64(hi)/float64(g))
-}
-
-// coneDistribution returns the min, median and max fanout-cone gate
-// count over every stem of the circuit.
-func coneDistribution(t *sim.Topology) (lo, med, hi int) {
-	sizes := make([]int, t.NumNodes())
-	for i := range sizes {
-		sizes[i] = t.ConeGates(netlist.NodeID(i))
-	}
-	sort.Ints(sizes)
-	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
 }

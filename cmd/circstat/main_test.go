@@ -6,17 +6,26 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-
-	"fogbuster/internal/bench"
 )
 
-// TestFileMode runs circstat on a real .bench file and checks the
-// classic stats line plus the new topology report: the level histogram
-// and the fanout-cone distribution (s27 has 10 gates; the largest cone
-// cannot exceed them).
+// twoGateBench is a minimal netlist with a fanout stem so the file-mode
+// report exercises branches and multi-gate cones.
+const twoGateBench = `# two
+INPUT(A)
+INPUT(B)
+OUTPUT(X)
+OUTPUT(Y)
+N = NAND(A, B)
+X = AND(N, A)
+Y = OR(N, B)
+`
+
+// TestFileMode runs circstat on a .bench file and checks the classic
+// stats line plus the topology report: the level histogram and the
+// fanout-cone distribution.
 func TestFileMode(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "s27.bench")
-	if err := os.WriteFile(path, []byte(bench.S27), 0o644); err != nil {
+	path := filepath.Join(t.TempDir(), "two.bench")
+	if err := os.WriteFile(path, []byte(twoGateBench), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
@@ -24,7 +33,7 @@ func TestFileMode(t *testing.T) {
 		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"lines=25", "faults=50", "gates per level:", "fanout cones (gates):"} {
+	for _, want := range []string{"gates=3", "gates per level:", "fanout cones (gates):"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

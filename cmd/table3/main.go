@@ -1,7 +1,8 @@
 // Table3 regenerates the paper's Table 3: for every benchmark circuit the
 // number of tested, untestable and aborted gate delay faults, the pattern
 // count and the generation time, using the paper's backtrack limits
-// (100 local + 100 sequential).
+// (100 local + 100 sequential). It consumes the engine exclusively
+// through the public fogbuster/pkg/atpg API.
 //
 // All circuits except s27 are profile-calibrated synthetic reconstructions
 // (see internal/bench); absolute numbers are therefore comparable in shape,
@@ -9,16 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/compact"
-	"fogbuster/internal/core"
-	"fogbuster/internal/logic"
-	"fogbuster/internal/order"
+	"fogbuster/pkg/atpg"
 )
 
 // config is the parsed command line, split from main so the tests can
@@ -32,8 +31,12 @@ type config struct {
 	compact   bool
 	seed      int64
 	fullEval  bool
-	heur      order.Heuristic
+	jsonOut   string
+	order     string
 }
+
+// errUsage marks a command-line error whose message was already printed.
+var errUsage = errors.New("usage error")
 
 // parseArgs parses the command line into a config, reporting errors on
 // stderr.
@@ -49,44 +52,39 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one table, at any worker count)")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact every test set and report vectors before/after")
 	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
-	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	fs.StringVar(&cfg.jsonOut, "json", "", "write every run's canonical atpg.Result as one JSON array to this file (- for stdout)")
+	fs.StringVar(&cfg.order, "order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
 	}
-	heur, err := order.Parse(*orderFlag)
-	if err != nil {
+	if err := cfg.engineConfig().Validate(); err != nil {
 		fmt.Fprintf(stderr, "table3: %v\n", err)
-		return nil, err
+		return nil, errUsage
 	}
-	cfg.heur = heur
 	return cfg, nil
 }
 
 // algebra resolves the fault model flag.
-func (cfg *config) algebra() *logic.Algebra {
+func (cfg *config) algebra() string {
 	if cfg.nonRobust {
-		return logic.NonRobust
+		return atpg.AlgebraNonRobust
 	}
-	return logic.Robust
+	return atpg.AlgebraRobust
 }
 
-// engineOptions translates the command line into the engine options.
-func (cfg *config) engineOptions() core.Options {
-	return core.Options{
+// engineConfig translates the command line into the public engine
+// configuration (compaction included — the session applies it).
+func (cfg *config) engineConfig() atpg.Config {
+	return atpg.Config{
 		Algebra:         cfg.algebra(),
+		Order:           cfg.order,
 		StrictInit:      cfg.strict,
 		DisableFaultSim: cfg.noSim,
 		Seed:            cfg.seed,
 		Workers:         cfg.workers,
-		Order:           cfg.heur,
 		Compact:         cfg.compact,
 		FullEval:        cfg.fullEval,
 	}
-}
-
-// compactOptions translates the command line into the compaction options.
-func (cfg *config) compactOptions() compact.Options {
-	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed, FullEval: cfg.fullEval}
 }
 
 func main() {
@@ -97,45 +95,92 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	alg := cfg.algebra()
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
 
-	fmt.Printf("Gate delay fault test generation for non-scan circuits — Table 3 (%s model, %s order", alg.Name(), cfg.heur.Name())
-	if cfg.strict {
-		fmt.Printf(", strict initialization")
+// run is the testable body of the command.
+func run(cfg *config, stdout, stderr io.Writer) int {
+	algName, err := atpg.AlgebraName(cfg.algebra())
+	if err != nil {
+		fmt.Fprintf(stderr, "table3: %v\n", err)
+		return 1
 	}
-	fmt.Println(")")
-	fmt.Printf("%-8s | %7s %7s %7s %7s %8s | %s\n",
+	fmt.Fprintf(stdout, "Gate delay fault test generation for non-scan circuits — Table 3 (%s model, %s order", algName, cfg.engineConfig().Order)
+	if cfg.strict {
+		fmt.Fprintf(stdout, ", strict initialization")
+	}
+	fmt.Fprintln(stdout, ")")
+	fmt.Fprintf(stdout, "%-8s | %7s %7s %7s %7s %8s | %s\n",
 		"circuit", "tested", "untstbl", "aborted", "#pat", "time", "paper row (tested/untstbl/aborted/#pat/time)")
 
-	for _, p := range bench.Profiles {
-		if cfg.only != "" && p.Name != cfg.only {
+	var results []*atpg.Result
+	matched := false
+	for _, b := range atpg.Benchmarks() {
+		if cfg.only != "" && b.Name != cfg.only {
 			continue
 		}
-		c, err := bench.Synthesize(p)
+		matched = true
+		c, err := atpg.Benchmark(b.Name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "table3: %v\n", err)
+			return 1
 		}
-		sum := core.New(c, cfg.engineOptions()).Run()
+		ses, err := atpg.New(c, cfg.engineConfig())
+		if err != nil {
+			fmt.Fprintf(stderr, "table3: %v\n", err)
+			return 1
+		}
+		res, err := ses.Run(context.Background())
+		if err != nil {
+			fmt.Fprintf(stderr, "table3: %s: %v\n", b.Name, err)
+			return 1
+		}
+		results = append(results, res)
 		note := ""
-		if !p.Exact {
+		if !b.Exact {
 			note = " *"
 		}
-		if cfg.compact {
-			st := compact.Apply(c, sum, cfg.compactOptions())
-			if !st.Complete {
-				fmt.Fprintf(os.Stderr, "table3: %s: compaction refused: recorded detection sets are absent or incomplete\n", p.Name)
-				os.Exit(1)
-			}
+		if st := res.Compaction; st != nil {
 			note += fmt.Sprintf(" | vectors %d -> %d (%d of %d sequences dropped, %d spliced frames)",
 				st.PatternsBefore, st.PatternsAfter, st.Dropped, st.Sequences, st.SplicedFrames)
 		}
-		if sum.ValidationFailures > 0 {
-			note += fmt.Sprintf(" (%d VALIDATION FAILURES)", sum.ValidationFailures)
+		if res.ValidationFailures > 0 {
+			note += fmt.Sprintf(" (%d VALIDATION FAILURES)", res.ValidationFailures)
 		}
-		fmt.Printf("%-8s | %7d %7d %7d %7d %7.2fs | %d / %d / %d / %d / %.0fs%s\n",
-			p.Name, sum.Tested, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime.Seconds(),
-			p.Paper.Tested, p.Paper.Untestable, p.Paper.Aborted, p.Paper.Patterns, p.Paper.Seconds, note)
+		fmt.Fprintf(stdout, "%-8s | %7d %7d %7d %7d %7.2fs | %d / %d / %d / %d / %.0fs%s\n",
+			b.Name, res.Tested, res.Untestable, res.Aborted, res.Patterns, res.Runtime.Seconds(),
+			b.Paper.Tested, b.Paper.Untestable, b.Paper.Aborted, b.Paper.Patterns, b.Paper.Seconds, note)
 	}
-	fmt.Println("* synthetic reconstruction calibrated to the published size profile and the paper's fault totals")
+	if !matched {
+		fmt.Fprintf(stderr, "table3: no benchmark named %q\n", cfg.only)
+		return 1
+	}
+	fmt.Fprintln(stdout, "* synthetic reconstruction calibrated to the published size profile and the paper's fault totals")
+
+	if cfg.jsonOut != "" {
+		if err := writeJSON(cfg.jsonOut, stdout, results); err != nil {
+			fmt.Fprintf(stderr, "table3: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeJSON emits every run's Result as one canonical JSON array.
+func writeJSON(path string, stdout io.Writer, results []*atpg.Result) error {
+	emit := func(w io.Writer) error {
+		return atpg.EncodeJSON(w, results)
+	}
+	if path == "-" {
+		return emit(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

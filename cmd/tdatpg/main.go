@@ -1,9 +1,13 @@
 // Tdatpg runs the full non-scan gate delay fault ATPG flow on an ISCAS'89
 // .bench netlist and reports the per-fault classification, optionally
-// dumping the generated test sequences.
+// dumping the generated test sequences, streaming live progress, and
+// writing the results in the canonical JSON or the legacy CSV form. It
+// consumes the engine exclusively through the public fogbuster/pkg/atpg
+// API.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -11,19 +15,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
-	"fogbuster/internal/compact"
-	"fogbuster/internal/core"
-	"fogbuster/internal/logic"
-	"fogbuster/internal/netlist"
-	"fogbuster/internal/order"
-	"fogbuster/internal/sim"
+	"fogbuster/pkg/atpg"
 )
 
 // config is the parsed command line. It exists separately from main so
-// the tests can pin that every flag — the seed in particular — actually
-// reaches the engine options.
+// the tests can pin that every flag — the seed and the output selectors
+// in particular — actually reaches the engine configuration.
 type config struct {
 	nonRobust bool
 	strict    bool
@@ -32,6 +30,8 @@ type config struct {
 	dump      bool
 	verbose   bool
 	csvOut    string
+	jsonOut   string
+	progress  bool
 	varBudget int
 	workers   int
 	compact   bool
@@ -39,7 +39,7 @@ type config struct {
 	fullEval  bool
 	cpuProf   string
 	memProf   string
-	heur      order.Heuristic
+	order     string
 	bench     string
 }
 
@@ -59,23 +59,27 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.dump, "dump", false, "print every generated test sequence")
 	fs.BoolVar(&cfg.verbose, "v", false, "print the per-fault classification")
 	fs.StringVar(&cfg.csvOut, "csv", "", "write the per-fault results and sequences to a CSV file")
+	fs.StringVar(&cfg.jsonOut, "json", "", "write the canonical atpg.Result JSON to this file (- for stdout; exclusive with -csv)")
+	fs.BoolVar(&cfg.progress, "progress", false, "render the event stream as a live done/total ticker on stderr")
 	fs.IntVar(&cfg.varBudget, "variation", 0, "timing-refined PPO handoff with this variation budget (0 = pure robust)")
 	fs.IntVar(&cfg.workers, "workers", 0, "ATPG worker count (0 = all CPUs, <0 = single worker); results are identical at any count")
-	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one Summary, at any worker count)")
+	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one Result, at any worker count)")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact the test set (reverse-order drop + overlap merge) after generation")
 	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
 	fs.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile (taken after the run) to this file")
-	orderFlag := fs.String("order", "natural", "fault-targeting order: natural, topo, scoap or adi")
+	fs.StringVar(&cfg.order, "order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
 	}
-	heur, err := order.Parse(*orderFlag)
-	if err != nil {
+	if err := cfg.engineConfig().Validate(); err != nil {
 		fmt.Fprintf(stderr, "tdatpg: %v\n", err)
 		return nil, errUsage
 	}
-	cfg.heur = heur
+	if cfg.jsonOut != "" && cfg.csvOut != "" {
+		fmt.Fprintln(stderr, "tdatpg: -json and -csv are exclusive")
+		return nil, errUsage
+	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: tdatpg [flags] circuit.bench")
 		fs.PrintDefaults()
@@ -86,38 +90,33 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 }
 
 // algebra resolves the fault model flag.
-func (cfg *config) algebra() *logic.Algebra {
+func (cfg *config) algebra() string {
 	if cfg.nonRobust {
-		return logic.NonRobust
+		return atpg.AlgebraNonRobust
 	}
-	return logic.Robust
+	return atpg.AlgebraRobust
 }
 
-// engineOptions translates the command line into the engine options.
-func (cfg *config) engineOptions() core.Options {
-	return core.Options{
+// engineConfig translates the command line into the public engine
+// configuration (compaction included — the session applies it).
+func (cfg *config) engineConfig() atpg.Config {
+	return atpg.Config{
 		Algebra:         cfg.algebra(),
+		Order:           cfg.order,
 		LocalBacktracks: cfg.localBT,
 		SeqBacktracks:   cfg.seqBT,
 		StrictInit:      cfg.strict,
 		VariationBudget: cfg.varBudget,
 		Seed:            cfg.seed,
 		Workers:         cfg.workers,
-		Order:           cfg.heur,
 		Compact:         cfg.compact,
 		FullEval:        cfg.fullEval,
 	}
 }
 
-// compactOptions translates the command line into the compaction options;
-// the seed must match the engine's so the splice fills are reproducible.
-func (cfg *config) compactOptions() compact.Options {
-	return compact.Options{Algebra: cfg.algebra(), Seed: cfg.seed, FullEval: cfg.fullEval}
-}
-
 // profiling starts CPU profiling if requested and returns a stop
-// function that finishes both profiles; it must run before any os.Exit.
-func (cfg *config) profiling() (func(), error) {
+// function that finishes both profiles; it must run before any exit.
+func (cfg *config) profiling(stderr io.Writer) (func(), error) {
 	var cpuFile *os.File
 	if cfg.cpuProf != "" {
 		f, err := os.Create(cfg.cpuProf)
@@ -138,12 +137,12 @@ func (cfg *config) profiling() (func(), error) {
 		if cfg.memProf != "" {
 			f, err := os.Create(cfg.memProf)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+				fmt.Fprintf(stderr, "tdatpg: %v\n", err)
 				return
 			}
 			runtime.GC() // settle the heap so the profile shows live data
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
+				fmt.Fprintf(stderr, "tdatpg: %v\n", err)
 			}
 			f.Close()
 		}
@@ -158,95 +157,134 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
 
-	data, err := os.ReadFile(cfg.bench)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-		os.Exit(1)
-	}
-	c, err := netlist.Parse(cfg.bench, string(data))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-		os.Exit(1)
+// run is the testable body of the command.
+func run(cfg *config, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "tdatpg: %v\n", err)
+		return 1
 	}
 
-	stopProf, err := cfg.profiling()
+	c, err := atpg.LoadBench(cfg.bench)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
-	sum := core.New(c, cfg.engineOptions()).Run()
-	var st *core.CompactionStats
-	if cfg.compact {
-		st = compact.Apply(c, sum, cfg.compactOptions())
-		if !st.Complete {
-			stopProf()
-			fmt.Fprintln(os.Stderr, "tdatpg: compaction refused: recorded detection sets are absent or incomplete")
-			os.Exit(1)
-		}
+	ses, err := atpg.New(c, cfg.engineConfig())
+	if err != nil {
+		return fail(err)
 	}
+
+	stopProf, err := cfg.profiling(stderr)
+	if err != nil {
+		return fail(err)
+	}
+
+	// The -progress ticker consumes the streaming events on a side
+	// goroutine; the channel closes when Run returns, so every later
+	// return path must pass through Run (or the goroutine would leak).
+	ticker := make(chan struct{})
+	if cfg.progress {
+		events := ses.Events()
+		go func() {
+			defer close(ticker)
+			ticked := false
+			for ev := range events {
+				if ev.Kind == atpg.EventProgress {
+					fmt.Fprintf(stderr, "\rtdatpg: %d/%d faults", ev.Done, ev.Total)
+					ticked = true
+				}
+			}
+			if ticked {
+				fmt.Fprintln(stderr)
+			}
+		}()
+	} else {
+		close(ticker)
+	}
+
+	res, err := ses.Run(context.Background())
 	stopProf()
+	<-ticker
+	if err != nil {
+		return fail(err)
+	}
 
 	if cfg.csvOut != "" {
-		f, err := os.Create(cfg.csvOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-			os.Exit(1)
+		if err := writeFile(cfg.csvOut, stdout, res.WriteCSV); err != nil {
+			return fail(err)
 		}
-		if err := sum.WriteCSV(f, c); err != nil {
-			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "tdatpg: %v\n", err)
-			os.Exit(1)
+	}
+	if cfg.jsonOut != "" {
+		if err := writeFile(cfg.jsonOut, stdout, func(w io.Writer) error {
+			return atpg.EncodeJSON(w, res)
+		}); err != nil {
+			return fail(err)
 		}
 	}
 
-	fmt.Println(c.Stats())
-	fmt.Printf("model=%s order=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
-		sum.Algebra, sum.Order, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime)
-	if st != nil {
-		fmt.Printf("compaction: vectors %d -> %d, sequences %d -> %d (%d dropped, %d pairs spliced saving %d vectors)\n",
+	fmt.Fprintln(stdout, c.Stats())
+	fmt.Fprintf(stdout, "model=%s order=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
+		res.Algebra, res.Order, res.Tested, res.Explicit, res.Untestable, res.Aborted, res.Patterns, res.Runtime)
+	if st := res.Compaction; st != nil {
+		fmt.Fprintf(stdout, "compaction: vectors %d -> %d, sequences %d -> %d (%d dropped, %d pairs spliced saving %d vectors)\n",
 			st.PatternsBefore, st.PatternsAfter, st.Sequences, st.Kept, st.Dropped, st.Splices, st.SplicedFrames)
 	}
-	if sum.ValidationFailures > 0 {
-		fmt.Printf("WARNING: %d sequences failed independent validation\n", sum.ValidationFailures)
+	if res.ValidationFailures > 0 {
+		fmt.Fprintf(stdout, "WARNING: %d sequences failed independent validation\n", res.ValidationFailures)
 	}
 	if cfg.verbose || cfg.dump {
-		for _, r := range sum.Results {
+		for _, r := range res.Faults {
 			if !cfg.verbose && r.Seq == nil {
 				continue
 			}
-			fmt.Printf("%-24s %s\n", r.Fault.Name(c), r.Status)
+			fmt.Fprintf(stdout, "%-24s %s\n", r.Fault, legacyLabel(r.Status))
 			if cfg.dump && r.Seq != nil {
-				printSeq(r.Seq)
+				printSeq(stdout, r.Seq)
 			}
 		}
 	}
+	return 0
 }
 
-func printSeq(t *core.TestSequence) {
-	for i, v := range t.Sync {
-		fmt.Printf("    sync[%d] %s (slow)\n", i, vec(v))
+// writeFile runs emit against the named file, or stdout for "-".
+func writeFile(path string, stdout io.Writer, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(stdout)
 	}
-	fmt.Printf("    V1      %s (slow)\n", vec(t.V1))
-	fmt.Printf("    V2      %s (FAST)\n", vec(t.V2))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// legacyLabel keeps the classic report spelling for credited faults.
+func legacyLabel(s atpg.Status) string {
+	if s == atpg.StatusTestedBySim {
+		return "tested(sim)"
+	}
+	return string(s)
+}
+
+func printSeq(w io.Writer, t *atpg.Sequence) {
+	for i, v := range t.Sync {
+		fmt.Fprintf(w, "    sync[%d] %s (slow)\n", i, v)
+	}
+	fmt.Fprintf(w, "    V1      %s (slow)\n", t.V1)
+	fmt.Fprintf(w, "    V2      %s (FAST)\n", t.V2)
 	for i, v := range t.Prop {
-		fmt.Printf("    prop[%d] %s (slow)\n", i, vec(v))
+		fmt.Fprintf(w, "    prop[%d] %s (slow)\n", i, v)
 	}
 	if t.ObservePO >= 0 {
-		fmt.Printf("    observe PO %d\n", t.ObservePO)
+		fmt.Fprintf(w, "    observe PO %d\n", t.ObservePO)
 	}
-	if t.Assumed != nil && sim.KnownCount(t.Assumed) > 0 {
-		fmt.Printf("    assumed power-up state %s\n", vec(t.Assumed))
+	if t.Assumed != "" {
+		fmt.Fprintf(w, "    assumed power-up state %s\n", t.Assumed)
 	}
-}
-
-func vec(v []sim.V3) string {
-	var sb strings.Builder
-	for _, b := range v {
-		sb.WriteString(b.String())
-	}
-	return sb.String()
 }

@@ -2,60 +2,72 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
-	"fogbuster/internal/order"
+	"fogbuster/pkg/atpg"
 )
 
+// andBench is a minimal combinational netlist for end-to-end cmd tests.
+const andBench = `# and2
+INPUT(A)
+INPUT(B)
+OUTPUT(C)
+C = AND(A, B)
+`
+
+// writeBench drops the test netlist into a temp dir.
+func writeBench(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "and2.bench")
+	if err := os.WriteFile(path, []byte(andBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // TestSeedFlagReachesEngine pins the -seed satellite fix: the flag value
-// must land in core.Options.Seed AND in the compaction options, because
-// the X-fill streams, the ADI ordering campaign and the splice fills are
-// all derived from it.
+// must land in the public Config (the session derives the X-fill
+// streams, the ADI ordering campaign and the splice fills from it).
 func TestSeedFlagReachesEngine(t *testing.T) {
 	var stderr bytes.Buffer
 	cfg, err := parseArgs([]string{"-seed", "12345", "-order", "adi", "-compact", "circuit.bench"}, &stderr)
 	if err != nil {
 		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
 	}
-	opts := cfg.engineOptions()
-	if opts.Seed != 12345 {
-		t.Fatalf("engine Seed = %d, want 12345", opts.Seed)
+	ec := cfg.engineConfig()
+	if ec.Seed != 12345 {
+		t.Fatalf("config Seed = %d, want 12345", ec.Seed)
 	}
-	if co := cfg.compactOptions(); co.Seed != 12345 {
-		t.Fatalf("compaction Seed = %d, want 12345", co.Seed)
+	if ec.Order != atpg.OrderADI {
+		t.Fatalf("config Order = %q, want adi", ec.Order)
 	}
-	if opts.Order != order.ADI {
-		t.Fatalf("engine Order = %q, want adi", opts.Order)
-	}
-	if !opts.Compact {
-		t.Fatal("engine Compact not set")
+	if !ec.Compact {
+		t.Fatal("config Compact not set")
 	}
 	if cfg.bench != "circuit.bench" {
 		t.Fatalf("bench arg = %q", cfg.bench)
 	}
 }
 
-// TestFullEvalFlagReachesEngine pins the -fulleval oracle knob: it must
-// land in core.Options.FullEval AND in the compaction options, so the
-// splice re-confirmations run on the same path as the engine. The
-// profiling flags must survive parsing too.
+// TestFullEvalFlagReachesEngine pins the -fulleval oracle knob and that
+// the profiling flags survive parsing.
 func TestFullEvalFlagReachesEngine(t *testing.T) {
 	var stderr bytes.Buffer
 	cfg, err := parseArgs([]string{"-fulleval", "-compact", "-cpuprofile", "cpu.out", "-memprofile", "mem.out", "circuit.bench"}, &stderr)
 	if err != nil {
 		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
 	}
-	if !cfg.engineOptions().FullEval {
-		t.Fatal("engine FullEval not set")
-	}
-	if !cfg.compactOptions().FullEval {
-		t.Fatal("compaction FullEval not set")
+	if !cfg.engineConfig().FullEval {
+		t.Fatal("config FullEval not set")
 	}
 	if cfg.cpuProf != "cpu.out" || cfg.memProf != "mem.out" {
 		t.Fatalf("profile paths lost: cpu=%q mem=%q", cfg.cpuProf, cfg.memProf)
 	}
-	if cfg2, err := parseArgs([]string{"circuit.bench"}, &stderr); err != nil || cfg2.engineOptions().FullEval {
+	if cfg2, err := parseArgs([]string{"circuit.bench"}, &stderr); err != nil || cfg2.engineConfig().FullEval {
 		t.Fatal("FullEval must default to off (event-driven kernels)")
 	}
 }
@@ -68,13 +80,14 @@ func TestDefaultSeedIsZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := cfg.engineOptions().Seed; got != 0 {
+	if got := cfg.engineConfig().Seed; got != 0 {
 		t.Fatalf("default Seed = %d, want 0", got)
 	}
 }
 
-// TestParseArgsRejectsBadUsage: unknown orders and missing netlist
-// arguments are reported, never silently defaulted.
+// TestParseArgsRejectsBadUsage: unknown orders, missing netlist
+// arguments and conflicting output selectors are reported, never
+// silently defaulted.
 func TestParseArgsRejectsBadUsage(t *testing.T) {
 	var stderr bytes.Buffer
 	if _, err := parseArgs([]string{"-order", "bogus", "circuit.bench"}, &stderr); err == nil {
@@ -89,5 +102,79 @@ func TestParseArgsRejectsBadUsage(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "usage") {
 		t.Fatalf("usage not printed: %q", stderr.String())
+	}
+	stderr.Reset()
+	if _, err := parseArgs([]string{"-json", "a.json", "-csv", "a.csv", "circuit.bench"}, &stderr); err == nil {
+		t.Fatal("-json with -csv accepted")
+	}
+	if !strings.Contains(stderr.String(), "exclusive") {
+		t.Fatalf("exclusivity not reported: %q", stderr.String())
+	}
+}
+
+// TestJSONFlagReachesEncoder pins the -json satellite end to end: the
+// flag must route the run's Result into the canonical JSON encoder, and
+// the emitted document must decode back into an atpg.Result that
+// classifies the complete fault universe.
+func TestJSONFlagReachesEncoder(t *testing.T) {
+	bench := writeBench(t)
+	out := filepath.Join(t.TempDir(), "result.json")
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-json", out, bench}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	var stdout bytes.Buffer
+	if code := run(cfg, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res atpg.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("emitted JSON does not decode: %v", err)
+	}
+	if len(res.Faults) == 0 || res.Classified() != len(res.Faults) {
+		t.Fatalf("JSON result incoherent: %d faults, %d classified", len(res.Faults), res.Classified())
+	}
+	if res.Pending != 0 || res.Err != nil {
+		t.Fatalf("uncancelled run must be complete: pending=%d err=%v", res.Pending, res.Err)
+	}
+}
+
+// TestJSONToStdout: "-json -" streams the document to stdout, in front
+// of the human summary.
+func TestJSONToStdout(t *testing.T) {
+	bench := writeBench(t)
+	var stdout, stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-json", "-", bench}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run(cfg, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout.Bytes()))
+	var res atpg.Result
+	if err := dec.Decode(&res); err != nil {
+		t.Fatalf("stdout does not start with the JSON document: %v", err)
+	}
+}
+
+// TestProgressTicker: -progress renders a done/total ticker on stderr.
+func TestProgressTicker(t *testing.T) {
+	bench := writeBench(t)
+	var stdout, stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-progress", bench}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run(cfg, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "faults") || !strings.Contains(stderr.String(), "/") {
+		t.Fatalf("no ticker on stderr: %q", stderr.String())
 	}
 }

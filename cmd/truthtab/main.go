@@ -1,6 +1,7 @@
 // Truthtab prints the paper's Table 1 (AND gate) and Table 2 (inverter)
 // for the eight-valued robust delay fault algebra, and optionally the
-// derived OR/XOR tables or the non-robust variants.
+// derived OR/XOR tables or the non-robust variants. It consumes the
+// algebra exclusively through the public fogbuster/pkg/atpg API.
 package main
 
 import (
@@ -9,7 +10,7 @@ import (
 	"io"
 	"os"
 
-	"fogbuster/internal/logic"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
@@ -29,44 +30,70 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	alg := logic.Robust
+	alg := atpg.AlgebraRobust
 	if *nonRobust {
-		alg = logic.NonRobust
+		alg = atpg.AlgebraNonRobust
+	}
+	algName, err := atpg.AlgebraName(alg)
+	if err != nil {
+		fmt.Fprintf(stderr, "truthtab: %v\n", err)
+		return 1
+	}
+	labels := atpg.AlgebraValues()
+
+	fmt.Fprintf(stdout, "Table 1: truth table for AND gate (%s algebra)\n", algName)
+	if err := printTable(stdout, labels, alg, "and"); err != nil {
+		fmt.Fprintf(stderr, "truthtab: %v\n", err)
+		return 1
 	}
 
-	fmt.Fprintf(stdout, "Table 1: truth table for AND gate (%s algebra)\n", alg.Name())
-	printTable(stdout, func(x, y logic.Value) logic.Value { return alg.And(x, y) })
-
+	not, err := atpg.NotTable(alg)
+	if err != nil {
+		fmt.Fprintf(stderr, "truthtab: %v\n", err)
+		return 1
+	}
 	fmt.Fprintf(stdout, "\nTable 2: truth table for inverter\n      ")
-	for v := logic.Value(0); v < logic.NumValues; v++ {
-		fmt.Fprintf(stdout, "%4s", v)
+	for _, l := range labels {
+		fmt.Fprintf(stdout, "%4s", l)
 	}
 	fmt.Fprintf(stdout, "\n  NOT ")
-	for v := logic.Value(0); v < logic.NumValues; v++ {
-		fmt.Fprintf(stdout, "%4s", alg.Not(v))
+	for _, v := range not {
+		fmt.Fprintf(stdout, "%4s", v)
 	}
 	fmt.Fprintln(stdout)
 
 	if *all {
 		fmt.Fprintf(stdout, "\nDerived OR table (De Morgan dual)\n")
-		printTable(stdout, func(x, y logic.Value) logic.Value { return alg.Or(x, y) })
+		if err := printTable(stdout, labels, alg, "or"); err != nil {
+			fmt.Fprintf(stderr, "truthtab: %v\n", err)
+			return 1
+		}
 		fmt.Fprintf(stdout, "\nDerived XOR table\n")
-		printTable(stdout, func(x, y logic.Value) logic.Value { return alg.Xor(x, y) })
+		if err := printTable(stdout, labels, alg, "xor"); err != nil {
+			fmt.Fprintf(stderr, "truthtab: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }
 
-func printTable(w io.Writer, op func(x, y logic.Value) logic.Value) {
+// printTable renders one 8x8 gate table with row and column headers.
+func printTable(w io.Writer, labels []string, algebra, gate string) error {
+	table, err := atpg.TruthTable(algebra, gate)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "      ")
-	for y := logic.Value(0); y < logic.NumValues; y++ {
-		fmt.Fprintf(w, "%4s", y)
+	for _, l := range labels {
+		fmt.Fprintf(w, "%4s", l)
 	}
 	fmt.Fprintln(w)
-	for x := logic.Value(0); x < logic.NumValues; x++ {
-		fmt.Fprintf(w, "%4s |", x)
-		for y := logic.Value(0); y < logic.NumValues; y++ {
-			fmt.Fprintf(w, "%4s", op(x, y))
+	for x, row := range table {
+		fmt.Fprintf(w, "%4s |", labels[x])
+		for _, cell := range row {
+			fmt.Fprintf(w, "%4s", cell)
 		}
 		fmt.Fprintln(w)
 	}
+	return nil
 }

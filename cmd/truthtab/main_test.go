@@ -5,12 +5,12 @@ import (
 	"strings"
 	"testing"
 
-	"fogbuster/internal/logic"
+	"fogbuster/pkg/atpg"
 )
 
 // TestTables pins the printed Table 1 against the algebra itself: the
-// AND row for Rc must match logic.Robust cell for cell, and the header
-// must name the robust algebra.
+// AND row for Rc must match the public truth table cell for cell, and
+// the header must name the robust algebra.
 func TestTables(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(nil, &stdout, &stderr); code != 0 {
@@ -24,10 +24,24 @@ func TestTables(t *testing.T) {
 		t.Fatalf("missing Table 2 header:\n%s", out)
 	}
 	// The Rc row of the AND table, rendered the way printTable does.
+	labels := atpg.AlgebraValues()
+	table, err := atpg.TruthTable(atpg.AlgebraRobust, "and")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := -1
+	for i, l := range labels {
+		if l == "Rc" {
+			rc = i
+		}
+	}
+	if rc < 0 {
+		t.Fatalf("no Rc label in %v", labels)
+	}
 	var want strings.Builder
 	want.WriteString("  Rc |")
-	for y := logic.Value(0); y < logic.NumValues; y++ {
-		want.WriteString(pad4(logic.Robust.And(logic.RiseC, y).String()))
+	for _, cell := range table[rc] {
+		want.WriteString(pad4(cell))
 	}
 	if !strings.Contains(out, want.String()) {
 		t.Fatalf("AND table Rc row mismatch, want %q in:\n%s", want.String(), out)

@@ -3,85 +3,66 @@
 // propagation is needed. This example tests c17 and a ripple-carry adder
 // (long robustly-sensitizable carry paths) under both the robust model and
 // the paper's proposed non-robust relaxation, demonstrating the coverage
-// difference the conclusions predict.
+// difference the conclusions predict, and finishes by showing the stable
+// JSON encoding of a generated sequence — the machine interface larger
+// toolchains consume.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/bits"
+	"log"
+	"os"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/core"
-	"fogbuster/internal/logic"
-	"fogbuster/internal/netlist"
-	"fogbuster/internal/sim"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
-	for _, c := range []*netlist.Circuit{bench.NewC17(), bench.RippleCarryAdder(8)} {
+	for _, name := range []string{"c17", "rca8"} {
+		c, err := atpg.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println(c.Stats())
-		for _, alg := range []*logic.Algebra{logic.Robust, logic.NonRobust} {
-			sum := core.New(c, core.Options{Algebra: alg}).Run()
+		for _, alg := range atpg.Algebras() {
+			res := mustRun(c, atpg.Config{Algebra: alg})
 			fmt.Printf("  %-11s tested=%4d untestable=%3d aborted=%3d patterns=%d (%v)\n",
-				alg.Name()+":", sum.Tested, sum.Untestable, sum.Aborted, sum.Patterns, sum.Runtime.Round(1000000))
+				res.Algebra+":", res.Tested, res.Untestable, res.Aborted, res.Patterns, res.Runtime.Round(1000000))
 		}
 	}
 
 	// The carry chain of the adder is the classic delay-test target: show
-	// the longest robust test explicitly.
-	rca := bench.RippleCarryAdder(8)
-	sum := core.New(rca, core.Options{DisableFaultSim: true}).Run()
-	longest := -1
-	for i, r := range sum.Results {
-		if r.Seq != nil {
-			if longest < 0 || r.Seq.Len() > sum.Results[longest].Seq.Len() {
-				longest = i
-			}
+	// the longest robust test explicitly, then its canonical JSON form.
+	rca, err := atpg.Benchmark("rca8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := mustRun(rca, atpg.Config{DisableFaultSim: true})
+	var longest *atpg.FaultResult
+	for i, r := range res.Faults {
+		if r.Seq != nil && (longest == nil || r.Seq.Len() > longest.Seq.Len()) {
+			longest = &res.Faults[i]
 		}
 	}
-	if longest >= 0 {
-		r := sum.Results[longest]
-		fmt.Printf("\nexample: robust two-pattern test for %s through the carry chain\n", r.Fault.Name(rca))
-		fmt.Printf("  V1 = %v\n  V2 = %v (fast capture)\n", r.Seq.V1, r.Seq.V2)
+	if longest != nil {
+		fmt.Printf("\nexample: robust two-pattern test for %s through the carry chain\n", longest.Fault)
+		fmt.Printf("  V1 = %s\n  V2 = %s (fast capture)\n", longest.Seq.V1, longest.Seq.V2)
+		fmt.Println("\ncanonical JSON of that sequence:")
+		if err := atpg.EncodeJSON(os.Stdout, longest.Seq); err != nil {
+			log.Fatal(err)
+		}
 	}
-
-	sensitivity()
 }
 
-// sensitivity computes exact per-input observability of c17 with the
-// 64-way two-valued machinery: c17's 5 inputs span 32 patterns, so the
-// whole truth table fits in one machine word (Eval64), and flipping one
-// input across all patterns is a single-seed event-driven update
-// (Eval64Cone) that re-evaluates only that input's fanout cone. The
-// count of PO bits that change is the number of patterns under which
-// the input is observable — a two-valued preview of the cone-kernel
-// substrate the fault simulators run on.
-func sensitivity() {
-	c := bench.NewC17()
-	net := sim.NewNet(c)
-	vec := make([]sim.Word, len(c.PIs))
-	for i := range vec {
-		// Bit p of input i holds input i's value under pattern p.
-		for p := 0; p < 32; p++ {
-			if p&(1<<i) != 0 {
-				vec[i] |= sim.Word(1) << p
-			}
-		}
+// mustRun executes one complete session.
+func mustRun(c *atpg.Circuit, cfg atpg.Config) *atpg.Result {
+	ses, err := atpg.New(c, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	const all32 = sim.Word(1)<<32 - 1
-	base := net.LoadFrame64(vec, nil)
-	net.Eval64(base)
-	fmt.Printf("\nc17 input observability over the full truth table (32 patterns/word):\n")
-	vals := append([]sim.Word(nil), base...)
-	for i, pi := range c.PIs {
-		copy(vals, base)
-		vals[pi] ^= all32
-		net.Eval64Cone(vals, []netlist.NodeID{pi})
-		var diff sim.Word
-		for _, po := range c.POs {
-			diff |= (vals[po] ^ base[po]) & all32
-		}
-		fmt.Printf("  %-3s observable under %2d/32 patterns\n",
-			c.Nodes[c.PIs[i]].Name, bits.OnesCount64(diff))
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
+	return res
 }

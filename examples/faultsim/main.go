@@ -1,79 +1,66 @@
-// Faultsim: measure how much of the delay fault universe random two-
-// pattern sequences cover, versus the deterministic ATPG — the motivation
-// for deterministic delay-fault test generation. Random sequences are
-// replayed with FAUSIM/TDsim (the paper's fault simulation, Section 5):
-// good-machine simulation, fast-frame critical path tracing from the POs,
-// and state-capture analysis through the propagation frames.
+// Faultsim: measure how much of the delay fault universe rides along on
+// fault simulation credit versus explicit targeting — the paper's reason
+// for coupling the generator with FAUSIM/TDsim. The example streams the
+// engine's commit events through the public API to watch the credit
+// accumulate live, then repeats the run with the credit disabled to show
+// how many extra explicit generations that costs.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
+	"log"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/core"
-	"fogbuster/internal/faults"
-	"fogbuster/internal/logic"
-	"fogbuster/internal/sim"
-	"fogbuster/internal/tdsim"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
-	c := bench.ProfileByName("s298").Circuit()
+	c, err := atpg.Benchmark("s298")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(c.Stats())
-	net := sim.NewNet(c)
-	td := tdsim.New(net, logic.Robust)
-	all := faults.AllDelay(c)
 
-	detected := make(map[faults.Delay]bool)
-	rng := rand.New(rand.NewSource(1995))
-	randVec := func() []sim.V3 {
-		v := make([]sim.V3, len(c.PIs))
-		for i := range v {
-			v[i] = sim.V3(rng.Intn(2))
-		}
-		return v
+	// Streaming run: count sequence and credit commits as they happen.
+	// Events arrive in commit (targeting) order, so the running tallies
+	// reproduce the serial chronology exactly.
+	ses, err := atpg.New(c, atpg.Config{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	randState := func() []sim.V3 {
-		s := make([]sim.V3, len(c.DFFs))
-		for i := range s {
-			s[i] = sim.V3(rng.Intn(2))
+	var explicit, credited int
+	ses.OnEvent(func(ev atpg.Event) {
+		switch ev.Kind {
+		case atpg.EventSequenceGenerated:
+			explicit++
+		case atpg.EventCreditApplied:
+			credited++
+		case atpg.EventProgress:
+			if ev.Done%100 == 0 || ev.Done == ev.Total {
+				fmt.Printf("  %4d/%d faults committed: %3d sequences generated, %3d faults credited by simulation\n",
+					ev.Done, ev.Total, explicit, credited)
+			}
 		}
-		return s
+	})
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("with fault simulation:    tested=%d (explicit %d, credited %d) patterns=%d\n",
+		res.Tested, res.Explicit, res.Tested-res.Explicit, res.Patterns)
 
-	// Random campaign: warm up the state with a few frames, then apply a
-	// fast capture cycle and a short propagation tail.
-	const trials = 2000
-	state := randState()
-	for trial := 0; trial < trials; trial++ {
-		v1, v2 := randVec(), randVec()
-		f1 := net.LoadFrame(v1, state)
-		net.Eval3(f1, nil)
-		s1 := net.NextState3(f1, nil)
-		ff := &tdsim.FastFrame{
-			V1: v1, V2: v2, S0: state, S1: s1,
-			Prop: [][]sim.V3{randVec(), randVec(), randVec()},
-		}
-		for _, f := range td.Detect(ff, func(f faults.Delay) bool { return detected[f] }) {
-			detected[f] = true
-		}
-		// Advance the machine through the applied frames.
-		f2 := net.LoadFrame(v2, s1)
-		net.Eval3(f2, nil)
-		state = net.NextState3(f2, nil)
-		for _, p := range ff.Prop {
-			fv := net.LoadFrame(p, state)
-			net.Eval3(fv, nil)
-			state = net.NextState3(fv, nil)
-		}
-		if trial == 99 || trial == 499 || trial == trials-1 {
-			fmt.Printf("  random: %5d two-pattern trials -> %4d / %d faults detected robustly\n",
-				trial+1, len(detected), len(all))
-		}
+	// Reference run: every fault must be targeted explicitly.
+	ses2, err := atpg.New(c, atpg.Config{DisableFaultSim: true})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	sum := core.New(c, core.Options{}).Run()
-	fmt.Printf("  ATPG:   deterministic flow       -> %4d / %d (untestable %d, aborted %d, %d patterns)\n",
-		sum.Tested, len(all), sum.Untestable, sum.Aborted, sum.Patterns)
+	res2, err := ses2.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without fault simulation: tested=%d (explicit %d) patterns=%d\n",
+		res2.Tested, res2.Explicit, res2.Patterns)
+	fmt.Printf("credit saved %d of %d explicit generations (%.0f%%)\n",
+		res2.Explicit-res.Explicit, res2.Explicit,
+		100*float64(res2.Explicit-res.Explicit)/float64(res2.Explicit))
 }

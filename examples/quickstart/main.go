@@ -1,55 +1,58 @@
 // Quickstart: run the complete non-scan gate delay fault ATPG flow on the
-// ISCAS'89 s27 benchmark and show one generated test sequence in the
-// paper's time-frame model (initialization under the slow clock, the
-// two-pattern test with the fast capture cycle, then the propagation
-// frames).
+// ISCAS'89 s27 benchmark through the public fogbuster/pkg/atpg API and
+// show generated test sequences in the paper's time-frame model
+// (initialization under the slow clock, the two-pattern test with the
+// fast capture cycle, then the propagation frames). This is also the CI
+// API smoke test: it exercises circuit loading, validated session
+// construction, a full context-aware run and the public result types.
 package main
 
 import (
+	"context"
 	"fmt"
-	"strings"
+	"log"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/core"
-	"fogbuster/internal/sim"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
-	c := bench.NewS27()
+	c, err := atpg.Benchmark("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("circuit:", c.Stats())
 
-	sum := core.New(c, core.Options{}).Run()
+	ses, err := atpg.New(c, atpg.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("model=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d\n\n",
-		sum.Algebra, sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns)
+		res.Algebra, res.Tested, res.Explicit, res.Untestable, res.Aborted, res.Patterns)
 
 	shown := 0
-	for _, r := range sum.Results {
+	for _, r := range res.Faults {
 		if r.Seq == nil {
 			continue
 		}
-		fmt.Printf("test for %s (observed at PO %d):\n", r.Fault.Name(c), r.Seq.ObservePO)
+		fmt.Printf("test for %s (observed at PO %d):\n", r.Fault, r.Seq.ObservePO)
 		for i, v := range r.Seq.Sync {
-			fmt.Printf("  sync[%d]  %s   slow clock\n", i, vec(v))
+			fmt.Printf("  sync[%d]  %s   slow clock\n", i, v)
 		}
-		fmt.Printf("  V1       %s   slow clock (initial frame)\n", vec(r.Seq.V1))
-		fmt.Printf("  V2       %s   FAST clock (test frame)\n", vec(r.Seq.V2))
+		fmt.Printf("  V1       %s   slow clock (initial frame)\n", r.Seq.V1)
+		fmt.Printf("  V2       %s   FAST clock (test frame)\n", r.Seq.V2)
 		for i, v := range r.Seq.Prop {
-			fmt.Printf("  prop[%d]  %s   slow clock\n", i, vec(v))
+			fmt.Printf("  prop[%d]  %s   slow clock\n", i, v)
 		}
-		if r.Seq.Assumed != nil && sim.KnownCount(r.Seq.Assumed) > 0 {
-			fmt.Printf("  assumed power-up state: %s\n", vec(r.Seq.Assumed))
+		if r.Seq.Assumed != "" {
+			fmt.Printf("  assumed power-up state: %s\n", r.Seq.Assumed)
 		}
 		fmt.Println()
 		if shown++; shown == 3 {
 			break
 		}
 	}
-}
-
-func vec(v []sim.V3) string {
-	var sb strings.Builder
-	for _, b := range v {
-		sb.WriteString(b.String())
-	}
-	return sb.String()
 }

@@ -1,88 +1,72 @@
-// Synchronize: use SEMILET standalone — reverse-time synchronization of a
-// counter to a target state, and FOGBUSTER sequential stuck-at test
-// generation, SEMILET's original role as a static-fault sequential ATPG.
+// Synchronize: the initialization problem of non-scan delay testing.
+// Every generated test must first drive the machine from power-up into
+// the state the two-pattern test requires. This example contrasts the
+// two policies the engine offers through the public API — the default
+// optimistic initialization (state bits no input sequence can force are
+// assumed as power-up values, the 1990s convention the paper's s27
+// numbers imply) against strict true synchronizing sequences — and shows
+// the synchronizing prefixes and assumed bits of generated tests.
 package main
 
 import (
+	"context"
 	"fmt"
-	"strings"
+	"log"
 
-	"fogbuster/internal/bench"
-	"fogbuster/internal/faults"
-	"fogbuster/internal/semilet"
-	"fogbuster/internal/sim"
+	"fogbuster/pkg/atpg"
 )
 
 func main() {
-	// Reverse time processing: drive the s208-style counter (synchronous
-	// clear, toggle cells, carry chain) into chosen states.
-	c := bench.ProfileByName("s208").Circuit()
-	fmt.Println(c.Stats())
-	net := sim.NewNet(c)
-	eng := semilet.NewEngine(net, semilet.Options{})
+	for _, name := range []string{"s27", "s208"} {
+		c, err := atpg.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(c.Stats())
+		optimistic := mustRun(c, atpg.Config{})
+		strict := mustRun(c, atpg.Config{StrictInit: true})
+		fmt.Printf("  optimistic init: tested=%3d untestable=%3d aborted=%3d\n",
+			optimistic.Tested, optimistic.Untestable, optimistic.Aborted)
+		fmt.Printf("  strict init:     tested=%3d untestable=%3d aborted=%3d\n",
+			strict.Tested, strict.Untestable, strict.Aborted)
 
-	for _, trial := range []struct {
-		name string
-		bits string // one char per FF: 0, 1 or X
-	}{
-		{"all-zero (synchronous clear)", "00000000"},
-		{"counted to 3", "1100XXXX"},
-		{"single bit", "XXXX1XXX"},
-	} {
-		target := make([]sim.V3, len(c.DFFs))
-		for i, ch := range trial.bits {
-			switch ch {
-			case '0':
-				target[i] = sim.Lo
-			case '1':
-				target[i] = sim.Hi
-			default:
-				target[i] = sim.X
+		// Show one optimistic test that leans on an assumed power-up bit
+		// and one with a real synchronizing prefix.
+		var assumed, synced *atpg.Sequence
+		for _, r := range optimistic.Faults {
+			if r.Seq == nil {
+				continue
+			}
+			if assumed == nil && r.Seq.Assumed != "" {
+				assumed = r.Seq
+			}
+			if synced == nil && len(r.Seq.Sync) > 0 {
+				synced = r.Seq
 			}
 		}
-		res, st := eng.Synchronize(target, semilet.NewBudget(100))
-		fmt.Printf("  synchronize %-30s -> %v", trial.name, st)
-		if st == semilet.Success {
-			fmt.Printf(" in %d frames", len(res.Vectors))
-			// Independent check from the all-X power-up state.
-			steps := net.SeqSim3(nil, res.Vectors)
-			if len(steps) > 0 {
-				fmt.Printf("; reached state %s", vec(steps[len(steps)-1].State))
+		if assumed != nil {
+			fmt.Printf("  e.g. %s assumes power-up state %s\n", assumed.Fault, assumed.Assumed)
+		}
+		if synced != nil {
+			fmt.Printf("  e.g. %s synchronizes in %d frames:", synced.Fault, len(synced.Sync))
+			for _, v := range synced.Sync {
+				fmt.Printf(" %s", v)
 			}
+			fmt.Println()
 		}
 		fmt.Println()
 	}
-
-	// Sequential stuck-at generation on the shift register and s27.
-	fmt.Println("\nsequential stuck-at ATPG (FOGBUSTER):")
-	for _, tc := range []struct{ name string }{{"shift8"}, {"s27"}} {
-		var cc = bench.NewS27()
-		if tc.name == "shift8" {
-			cc = bench.ShiftRegister(8)
-		}
-		e := semilet.NewEngine(sim.NewNet(cc), semilet.Options{})
-		found, exhausted, aborted, vectors := 0, 0, 0, 0
-		for _, f := range faults.AllStuck(cc) {
-			res, st := e.GenerateStuck(f, semilet.NewBudget(100))
-			switch st {
-			case semilet.Success:
-				found++
-				vectors += len(res.Vectors)
-			case semilet.Exhausted:
-				exhausted++
-			default:
-				aborted++
-			}
-		}
-		fmt.Printf("  %-7s tested=%3d untestable=%3d aborted=%3d vectors=%d\n",
-			tc.name, found, exhausted, aborted, vectors)
-	}
 }
 
-func vec(v []sim.V3) string {
-	var sb strings.Builder
-	for _, b := range v {
-		sb.WriteString(b.String())
+// mustRun executes one complete session.
+func mustRun(c *atpg.Circuit, cfg atpg.Config) *atpg.Result {
+	ses, err := atpg.New(c, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return sb.String()
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

@@ -1,0 +1,47 @@
+package fogbuster
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicConsumersNeverImportInternal guards the API boundary: every
+// package under cmd/ and examples/ (tests included) must consume the
+// engine exclusively through fogbuster/pkg/atpg — no direct import of
+// anything under fogbuster/internal/. This is the compile-time face of
+// the stability contract in DESIGN.md §8; CI runs the same check via
+// `go list` so the guard cannot rot with the test tags.
+func TestPublicConsumersNeverImportInternal(t *testing.T) {
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				val, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if strings.HasPrefix(val, "fogbuster/internal/") {
+					t.Errorf("%s imports %s; public consumers must use fogbuster/pkg/atpg only", path, val)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

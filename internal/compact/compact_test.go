@@ -13,7 +13,7 @@ import (
 
 func runCompacted(name string, workers int) (*core.Summary, *core.CompactionStats) {
 	c := bench.ProfileByName(name).Circuit()
-	sum := core.New(c, core.Options{Compact: true, Workers: workers}).Run()
+	sum := core.MustNew(c, core.Options{Compact: true, Workers: workers}).Run()
 	return sum, Apply(c, sum, Options{})
 }
 
@@ -25,7 +25,7 @@ func runCompacted(name string, workers int) (*core.Summary, *core.CompactionStat
 func TestCompactionInvariants(t *testing.T) {
 	shrinks := map[string]bool{"s298": true, "s344": true, "s386": true}
 	for _, name := range []string{"s27", "s208", "s298", "s344", "s386"} {
-		base := core.New(bench.ProfileByName(name).Circuit(), core.Options{}).Run()
+		base := core.MustNew(bench.ProfileByName(name).Circuit(), core.Options{}).Run()
 		sum, st := runCompacted(name, 1)
 
 		if sum.Tested != base.Tested || sum.Explicit != base.Explicit ||
@@ -75,7 +75,7 @@ func TestCompactionInvariants(t *testing.T) {
 // sequence untouched rather than splice unsoundly.
 func TestApplyWithoutRecordedDetects(t *testing.T) {
 	c := bench.ProfileByName("s386").Circuit()
-	sum := core.New(c, core.Options{}).Run()
+	sum := core.MustNew(c, core.Options{}).Run()
 	st := Apply(c, sum, Options{})
 	if st.Dropped != 0 || st.Splices != 0 || st.PatternsAfter != st.PatternsBefore {
 		t.Fatalf("summary without recorded detection sets was mutated: %+v", *st)
@@ -149,10 +149,10 @@ func TestCompactionWorkerInvariance(t *testing.T) {
 func TestCompactionFullEvalInvariance(t *testing.T) {
 	for _, name := range []string{"s298", "s386"} {
 		c := bench.ProfileByName(name).Circuit()
-		sumEvt := core.New(c, core.Options{Compact: true}).Run()
+		sumEvt := core.MustNew(c, core.Options{Compact: true}).Run()
 		stEvt := Apply(c, sumEvt, Options{})
 		cRef := bench.ProfileByName(name).Circuit()
-		sumRef := core.New(cRef, core.Options{Compact: true, FullEval: true}).Run()
+		sumRef := core.MustNew(cRef, core.Options{Compact: true, FullEval: true}).Run()
 		stRef := Apply(cRef, sumRef, Options{FullEval: true})
 		if got, want := summarize(sumEvt, stEvt), summarize(sumRef, stRef); got != want {
 			t.Errorf("%s: compaction diverged between kernels:\n--- event\n%s--- full\n%s", name, got, want)

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -144,6 +145,12 @@ type Options struct {
 	// drops here only ever excludes faults the merge loop would refuse
 	// to credit anyway.
 	Compact bool
+	// OnEvent, when non-nil, receives the merge loop's commit
+	// notifications (see Event) synchronously on the RunContext
+	// goroutine, strictly in targeting order. The callback must not call
+	// back into the engine; it never changes the Summary — the stream is
+	// pure observation of the commits.
+	OnEvent func(Event)
 }
 
 // workerCount resolves the Workers option.
@@ -266,16 +273,28 @@ type Engine struct {
 	index map[faults.Delay]int
 }
 
-// New prepares an engine for the circuit. An unrecognized Options.Order
-// panics: silently falling back to the natural order would let an
-// experiment report a heuristic it never ran (CLIs validate spellings
-// with order.Parse first).
-func New(c *netlist.Circuit, opts Options) *Engine {
+// New prepares an engine for the circuit, rejecting options no run
+// should silently reinterpret: an unrecognized Options.Order (falling
+// back to the natural order would let an experiment report a heuristic
+// it never ran) and negative budgets or depths (the zero value already
+// means "default"; a negative one is always a caller bug). The public
+// façade (pkg/atpg) surfaces these as construction errors.
+func New(c *netlist.Circuit, opts Options) (*Engine, error) {
 	h, err := order.Parse(string(opts.Order))
 	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
+		return nil, fmt.Errorf("core: %v", err)
 	}
 	opts.Order = h
+	switch {
+	case opts.LocalBacktracks < 0:
+		return nil, fmt.Errorf("core: negative LocalBacktracks %d", opts.LocalBacktracks)
+	case opts.SeqBacktracks < 0:
+		return nil, fmt.Errorf("core: negative SeqBacktracks %d", opts.SeqBacktracks)
+	case opts.MaxFrames < 0:
+		return nil, fmt.Errorf("core: negative MaxFrames %d", opts.MaxFrames)
+	case opts.VariationBudget < 0:
+		return nil, fmt.Errorf("core: negative VariationBudget %d", opts.VariationBudget)
+	}
 	if opts.Algebra == nil {
 		opts.Algebra = logic.Robust
 	}
@@ -294,6 +313,16 @@ func New(c *netlist.Circuit, opts Options) *Engine {
 	}
 	if opts.VariationBudget > 0 {
 		e.tim = timing.Analyze(c, nil)
+	}
+	return e, nil
+}
+
+// MustNew is New for callers whose options are compile-time constants
+// (tests, benchmarks); it panics on the errors New reports.
+func MustNew(c *netlist.Circuit, opts Options) *Engine {
+	e, err := New(c, opts)
+	if err != nil {
+		panic(err)
 	}
 	return e
 }
@@ -324,6 +353,19 @@ type faultOutcome struct {
 // index still seeds each fault's X-fill stream, so a fault's search is
 // the same under every ordering and only the credit chronology moves.
 func (e *Engine) Run() *Summary {
+	sum, _ := e.RunContext(context.Background())
+	return sum
+}
+
+// RunContext is Run under a caller-controlled context. Cancelling the
+// context stops the run promptly: workers give up their searches between
+// decision alternatives, the merge loop commits no further positions,
+// and RunContext returns the partial summary together with ctx's error.
+// Every unprocessed fault is left Pending; the committed prefix is
+// bit-identical to the same prefix of an uncancelled run, because
+// cancellation only truncates the deterministic commit chronology, never
+// reorders it.
+func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 	start := time.Now()
 	all := faults.AllDelay(e.c)
 	n := len(all)
@@ -344,6 +386,7 @@ func (e *Engine) Run() *Summary {
 	// harmless speculative generation, never a wrong result, because the
 	// merge loop re-checks before committing).
 	status := make([]atomic.Uint32, n)
+	committed := n
 	if n > 0 {
 		workers := e.opts.workerCount()
 		if workers > n {
@@ -356,10 +399,10 @@ func (e *Engine) Run() *Summary {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				e.newWorker().run(all, perm, status, &next, results)
+				e.newWorker().run(ctx, all, perm, status, &next, results)
 			}()
 		}
-		e.merge(sum, perm, status, results, n)
+		committed = e.merge(ctx, sum, perm, status, results, n)
 		wg.Wait()
 	}
 
@@ -379,20 +422,32 @@ func (e *Engine) Run() *Summary {
 		}
 	}
 	sum.Runtime = time.Since(start)
-	return sum
+	if committed < n {
+		// Only a done context makes the merge loop stop short.
+		return sum, ctx.Err()
+	}
+	return sum, nil
 }
 
 // merge commits worker outcomes strictly in targeting order (positions
-// in the ordering permutation; fault order when perm is nil).
-// Out-of-order arrivals wait in a reorder buffer; a committed Tested
-// outcome applies its simulation credit to every still-pending fault,
-// and an outcome for a fault that an earlier commit credited is
-// discarded, exactly reproducing the serial processing order.
-func (e *Engine) merge(sum *Summary, perm []int, status []atomic.Uint32, results <-chan faultOutcome, n int) {
+// in the ordering permutation; fault order when perm is nil) and returns
+// how many positions it committed. Out-of-order arrivals wait in a
+// reorder buffer; a committed Tested outcome applies its simulation
+// credit to every still-pending fault, and an outcome for a fault that
+// an earlier commit credited is discarded, exactly reproducing the
+// serial processing order. Options.OnEvent observes every commit in that
+// order. A done context stops the loop before the next commit.
+func (e *Engine) merge(ctx context.Context, sum *Summary, perm []int, status []atomic.Uint32, results <-chan faultOutcome, n int) int {
+	emit := e.opts.OnEvent
 	reorder := make(map[int]faultOutcome)
 	cursor := 0
 	for cursor < n {
-		o := <-results
+		var o faultOutcome
+		select {
+		case o = <-results:
+		case <-ctx.Done():
+			return cursor
+		}
 		reorder[o.idx] = o
 		for {
 			cur, ok := reorder[cursor]
@@ -407,6 +462,9 @@ func (e *Engine) merge(sum *Summary, perm []int, status []atomic.Uint32, results
 			if Status(status[fi].Load()) == Pending {
 				status[fi].Store(uint32(cur.status))
 				sum.ValidationFailures += cur.valFail
+				if emit != nil && cur.status != Pending {
+					emit(Event{Kind: EventFaultClassified, Index: fi, Fault: sum.Results[fi].Fault, Status: cur.status})
+				}
 				if cur.status == Tested {
 					sum.Results[fi].Seq = cur.seq
 					sum.Patterns += cur.seq.Len()
@@ -414,14 +472,24 @@ func (e *Engine) merge(sum *Summary, perm []int, status []atomic.Uint32, results
 					if e.opts.Compact {
 						cur.seq.Detects = cur.detected
 					}
+					if emit != nil {
+						emit(Event{Kind: EventSequenceGenerated, Index: fi, Fault: sum.Results[fi].Fault, Seq: cur.seq})
+					}
 					for _, f := range cur.detected {
 						if j, ok := e.index[f]; ok && Status(status[j].Load()) == Pending {
 							status[j].Store(uint32(TestedBySim))
+							if emit != nil {
+								emit(Event{Kind: EventCreditApplied, Index: j, Fault: f, Status: TestedBySim, By: sum.Results[fi].Fault, ByIndex: fi})
+							}
 						}
 					}
 				}
 			}
 			cursor++
+			if emit != nil {
+				emit(Event{Kind: EventProgress, Done: cursor, Total: n})
+			}
 		}
 	}
+	return cursor
 }

@@ -13,7 +13,7 @@ import (
 // circuit where the paper's Table 3 row (39 tested, 11 untestable, 0
 // aborted, 40 patterns) is directly comparable.
 func TestRunS27(t *testing.T) {
-	sum := New(bench.NewS27(), Options{}).Run()
+	sum := MustNew(bench.NewS27(), Options{}).Run()
 	t.Logf("s27: tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d",
 		sum.Tested, sum.Explicit, sum.Untestable, sum.Aborted, sum.Patterns)
 	if sum.ValidationFailures != 0 {
@@ -33,7 +33,7 @@ func TestRunS27(t *testing.T) {
 // TestRunC17 exercises the combinational path: no state register, so no
 // propagation or synchronization is ever needed and everything is tested.
 func TestRunC17(t *testing.T) {
-	sum := New(bench.NewC17(), Options{}).Run()
+	sum := MustNew(bench.NewC17(), Options{}).Run()
 	if sum.Tested != 34 || sum.Untestable != 0 || sum.Aborted != 0 {
 		t.Fatalf("c17: tested=%d untestable=%d aborted=%d, want 34/0/0", sum.Tested, sum.Untestable, sum.Aborted)
 	}
@@ -45,8 +45,8 @@ func TestRunC17(t *testing.T) {
 // TestNonRobustReducesUntestable reproduces the paper's concluding claim:
 // a non-robust fault model decreases the number of untestable faults.
 func TestNonRobustReducesUntestable(t *testing.T) {
-	rob := New(bench.NewS27(), Options{}).Run()
-	non := New(bench.NewS27(), Options{Algebra: logic.NonRobust}).Run()
+	rob := MustNew(bench.NewS27(), Options{}).Run()
+	non := MustNew(bench.NewS27(), Options{Algebra: logic.NonRobust}).Run()
 	t.Logf("robust: tested=%d untestable=%d; non-robust: tested=%d untestable=%d",
 		rob.Tested, rob.Untestable, non.Tested, non.Untestable)
 	if non.Untestable > rob.Untestable {
@@ -57,8 +57,8 @@ func TestNonRobustReducesUntestable(t *testing.T) {
 // TestFaultSimCredit: with fault simulation off, every tested fault is
 // explicit; with it on, pattern counts can only shrink.
 func TestFaultSimCredit(t *testing.T) {
-	with := New(bench.NewS27(), Options{}).Run()
-	without := New(bench.NewS27(), Options{DisableFaultSim: true}).Run()
+	with := MustNew(bench.NewS27(), Options{}).Run()
+	without := MustNew(bench.NewS27(), Options{DisableFaultSim: true}).Run()
 	if with.Explicit > without.Explicit {
 		t.Fatalf("fault sim increased explicit targets: %d > %d", with.Explicit, without.Explicit)
 	}
@@ -76,9 +76,9 @@ func TestFaultSimCredit(t *testing.T) {
 // huge one must degenerate to the pure robust behaviour.
 func TestTimedHandoff(t *testing.T) {
 	c := bench.ProfileByName("s298").Circuit()
-	robust := New(c, Options{}).Run()
-	timed := New(c, Options{VariationBudget: 1}).Run()
-	huge := New(c, Options{VariationBudget: 1 << 20}).Run()
+	robust := MustNew(c, Options{}).Run()
+	timed := MustNew(c, Options{VariationBudget: 1}).Run()
+	huge := MustNew(c, Options{VariationBudget: 1 << 20}).Run()
 	t.Logf("tested: robust=%d timed(v=1)=%d timed(v=huge)=%d", robust.Tested, timed.Tested, huge.Tested)
 	if timed.ValidationFailures != 0 {
 		t.Fatalf("timed handoff produced %d validation failures", timed.ValidationFailures)
@@ -96,7 +96,7 @@ func TestTimedHandoff(t *testing.T) {
 // internal consistency with the summary counts.
 func TestReportWriters(t *testing.T) {
 	c := bench.NewS27()
-	sum := New(c, Options{}).Run()
+	sum := MustNew(c, Options{}).Run()
 
 	var txt strings.Builder
 	if err := sum.WriteReport(&txt, c); err != nil {

@@ -20,7 +20,7 @@ import (
 // summary's drop set and Follows markers.
 func TestCSVRoundTripCompacted(t *testing.T) {
 	c := bench.ProfileByName("s386").Circuit()
-	sum := core.New(c, core.Options{Compact: true}).Run()
+	sum := core.MustNew(c, core.Options{Compact: true}).Run()
 	st := compact.Apply(c, sum, compact.Options{})
 	if !st.Complete {
 		t.Fatal("compaction refused despite Options.Compact")

@@ -31,8 +31,8 @@ func summarize(s *Summary) string {
 func TestSeedDeterminism(t *testing.T) {
 	for _, name := range []string{"s27", "s298", "s386"} {
 		c := bench.ProfileByName(name).Circuit()
-		a := New(c, Options{Seed: 42}).Run()
-		b := New(c, Options{Seed: 42}).Run()
+		a := MustNew(c, Options{Seed: 42}).Run()
+		b := MustNew(c, Options{Seed: 42}).Run()
 		if sa, sb := summarize(a), summarize(b); sa != sb {
 			t.Errorf("%s: two runs with the same seed disagree:\n--- run 1\n%s--- run 2\n%s", name, sa, sb)
 		}
@@ -46,9 +46,9 @@ func TestSeedDeterminism(t *testing.T) {
 func TestWorkerCountInvariance(t *testing.T) {
 	for _, name := range []string{"s27", "s298", "s386"} {
 		c := bench.ProfileByName(name).Circuit()
-		base := summarize(New(c, Options{Workers: 1}).Run())
+		base := summarize(MustNew(c, Options{Workers: 1}).Run())
 		for _, workers := range []int{2, 7, 64} {
-			got := summarize(New(c, Options{Workers: workers}).Run())
+			got := summarize(MustNew(c, Options{Workers: workers}).Run())
 			if got != base {
 				t.Errorf("%s: Workers=%d diverged from Workers=1:\n--- serial\n%s--- workers=%d\n%s",
 					name, workers, base, workers, got)
@@ -66,9 +66,9 @@ func TestOrderingWorkerInvariance(t *testing.T) {
 	for _, name := range []string{"s27", "s298"} {
 		c := bench.ProfileByName(name).Circuit()
 		for _, h := range []order.Heuristic{order.Topological, order.SCOAP, order.ADI} {
-			base := summarize(New(c, Options{Workers: 1, Order: h}).Run())
+			base := summarize(MustNew(c, Options{Workers: 1, Order: h}).Run())
 			for _, workers := range []int{4, runtime.NumCPU()} {
-				got := summarize(New(c, Options{Workers: workers, Order: h}).Run())
+				got := summarize(MustNew(c, Options{Workers: workers, Order: h}).Run())
 				if got != base {
 					t.Errorf("%s/%s: Workers=%d diverged:\n--- serial\n%s--- workers=%d\n%s",
 						name, h, workers, base, workers, got)
@@ -86,9 +86,9 @@ func TestOrderingWorkerInvariance(t *testing.T) {
 func TestBatchedCreditInvariance(t *testing.T) {
 	for _, name := range []string{"s27", "s298", "s386"} {
 		c := bench.ProfileByName(name).Circuit()
-		ref := summarize(New(c, Options{ScalarCredit: true, Workers: 1}).Run())
+		ref := summarize(MustNew(c, Options{ScalarCredit: true, Workers: 1}).Run())
 		for _, workers := range []int{1, 4} {
-			got := summarize(New(c, Options{Workers: workers}).Run())
+			got := summarize(MustNew(c, Options{Workers: workers}).Run())
 			if got != ref {
 				t.Errorf("%s: batched credit (Workers=%d) diverged from the scalar reference:\n--- scalar\n%s--- batched\n%s",
 					name, workers, ref, got)
@@ -96,8 +96,8 @@ func TestBatchedCreditInvariance(t *testing.T) {
 		}
 		// Compact drops the skip filter and records full detection sets;
 		// the equivalence must hold there too, Detects included.
-		refC := New(c, Options{ScalarCredit: true, Workers: 1, Compact: true}).Run()
-		gotC := New(c, Options{Compact: true}).Run()
+		refC := MustNew(c, Options{ScalarCredit: true, Workers: 1, Compact: true}).Run()
+		gotC := MustNew(c, Options{Compact: true}).Run()
 		if a, b := summarize(refC), summarize(gotC); a != b {
 			t.Errorf("%s: batched credit diverged under Compact:\n--- scalar\n%s--- batched\n%s", name, a, b)
 			continue
@@ -135,10 +135,10 @@ func TestBatchedCreditInvariance(t *testing.T) {
 func TestEventDrivenInvariance(t *testing.T) {
 	for _, name := range []string{"s27", "s298", "s386"} {
 		c := bench.ProfileByName(name).Circuit()
-		ref := New(c, Options{FullEval: true, Workers: 1, Compact: true}).Run()
+		ref := MustNew(c, Options{FullEval: true, Workers: 1, Compact: true}).Run()
 		refS := summarize(ref)
 		for _, workers := range []int{1, 4} {
-			got := New(c, Options{Workers: workers, Compact: true}).Run()
+			got := MustNew(c, Options{Workers: workers, Compact: true}).Run()
 			if gotS := summarize(got); gotS != refS {
 				t.Errorf("%s: event-driven (Workers=%d) diverged from full-eval:\n--- full\n%s--- event\n%s",
 					name, workers, refS, gotS)
@@ -171,14 +171,29 @@ func TestEventDrivenInvariance(t *testing.T) {
 
 // TestNewRejectsUnknownOrder pins the fail-fast contract: a
 // misspelled heuristic must not silently run the natural order under
-// the wrong label.
+// the wrong label — New reports it as a construction error (no panic;
+// pkg/atpg surfaces it to API consumers).
 func TestNewRejectsUnknownOrder(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New accepted an unknown ordering heuristic")
+	if _, err := New(bench.NewS27(), Options{Order: "bogus"}); err == nil {
+		t.Fatal("New accepted an unknown ordering heuristic")
+	}
+}
+
+// TestNewRejectsNegativeBudgets pins the other construction errors: a
+// negative budget or depth is always a caller bug (zero already means
+// "default") and must never be silently reinterpreted.
+func TestNewRejectsNegativeBudgets(t *testing.T) {
+	c := bench.NewS27()
+	for name, opts := range map[string]Options{
+		"LocalBacktracks": {LocalBacktracks: -1},
+		"SeqBacktracks":   {SeqBacktracks: -5},
+		"MaxFrames":       {MaxFrames: -2},
+		"VariationBudget": {VariationBudget: -3},
+	} {
+		if _, err := New(c, opts); err == nil {
+			t.Errorf("New accepted negative %s", name)
 		}
-	}()
-	New(bench.NewS27(), Options{Order: "bogus"})
+	}
 }
 
 // TestOrderingClassifiesEverything checks that a reordered run still
@@ -188,7 +203,7 @@ func TestOrderingClassifiesEverything(t *testing.T) {
 	c := bench.ProfileByName("s298").Circuit()
 	total := len(bench.ProfileByName("s298").Circuit().Lines()) * 2
 	for _, h := range []order.Heuristic{order.Natural, order.Topological, order.SCOAP, order.ADI} {
-		sum := New(c, Options{Order: h}).Run()
+		sum := MustNew(c, Options{Order: h}).Run()
 		if n := sum.Tested + sum.Untestable + sum.Aborted; n != total {
 			t.Errorf("%s: classified %d of %d faults", h, n, total)
 		}

@@ -1,0 +1,47 @@
+package core
+
+import "fogbuster/internal/faults"
+
+// EventKind discriminates the merge-loop notifications.
+type EventKind uint8
+
+const (
+	// EventFaultClassified reports the commit of an explicitly targeted
+	// fault's final status (Tested, Untestable or Aborted).
+	EventFaultClassified EventKind = iota
+	// EventSequenceGenerated reports the commit of an explicit test
+	// sequence; it follows the target's EventFaultClassified.
+	EventSequenceGenerated
+	// EventCreditApplied reports a fault classified TestedBySim because
+	// the just-committed sequence (By) detects it.
+	EventCreditApplied
+	// EventProgress reports one targeting position committed: Done
+	// positions of Total are final.
+	EventProgress
+)
+
+// Event is one ordered notification emitted by the merge loop as it
+// commits worker outcomes in targeting order. The stream is a
+// deterministic function of the circuit and the options — independent of
+// worker count and scheduling — except that a cancelled run truncates
+// it; every event is delivered before the commit of the next targeting
+// position, so consumers observe exactly the serial chronology.
+type Event struct {
+	Kind EventKind
+	// Index is the Summary.Results index of the fault the event concerns
+	// (classification, sequence and credit events).
+	Index int
+	// Fault is the fault at Index.
+	Fault faults.Delay
+	// Status is the committed classification (EventFaultClassified,
+	// EventCreditApplied).
+	Status Status
+	// Seq is the committed sequence (EventSequenceGenerated only).
+	Seq *TestSequence
+	// By and ByIndex name the explicitly targeted fault whose sequence
+	// produced the credit (EventCreditApplied only).
+	By      faults.Delay
+	ByIndex int
+	// Done and Total carry the commit progress (EventProgress only).
+	Done, Total int
+}

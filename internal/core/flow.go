@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 
@@ -60,8 +61,17 @@ func faultSeed(seed int64, i int) int64 {
 // A fault the merge loop has already credited is skipped with an empty
 // outcome; the check is advisory (a stale read costs a wasted generation
 // that the merge loop discards), so no lock is ever held.
-func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
+//
+// A done context makes the worker return without completing its claimed
+// position: the merge loop has already stopped committing, so a missing
+// outcome can never stall it, and an interrupted search never produces a
+// (possibly truncated, therefore wrong) outcome.
+func (w *worker) run(ctx context.Context, all []faults.Delay, perm []int, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
+	done := ctx.Done()
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		p := int(next.Add(1)) - 1
 		if p >= len(all) {
 			return
@@ -71,12 +81,24 @@ func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, nex
 			i = perm[p]
 		}
 		if Status(status[i].Load()) != Pending {
-			results <- faultOutcome{idx: p}
+			select {
+			case results <- faultOutcome{idx: p}:
+			case <-done:
+				return
+			}
 			continue
 		}
 		w.rng = rand.New(rand.NewSource(faultSeed(w.e.opts.Seed, i)))
 		o := faultOutcome{idx: p}
-		o.seq, o.status, o.valFail = w.generate(all[i])
+		var interrupted bool
+		o.seq, o.status, o.valFail, interrupted = w.generate(ctx, all[i])
+		// An outcome sent to the merge loop must always be the complete
+		// deterministic one — the loop may commit it even after
+		// cancellation — so a worker that noticed the done context bails
+		// out entirely rather than, say, skipping the credit sweep.
+		if interrupted || ctx.Err() != nil {
+			return
+		}
 		if o.status == Tested && !w.e.opts.DisableFaultSim {
 			// Post-generation fault simulation runs here, on the worker,
 			// so the expensive CPT and confirmation work parallelizes;
@@ -102,7 +124,11 @@ func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, nex
 				o.detected = w.td.Detect(ff, skip)
 			}
 		}
-		results <- o
+		select {
+		case results <- o:
+		case <-done:
+			return
+		}
 	}
 }
 
@@ -111,8 +137,10 @@ func (w *worker) run(all []faults.Delay, perm []int, status []atomic.Uint32, nex
 // register — forward propagation to a PO, then synchronization of the
 // required initial state. A failure in a sequential phase backtracks into
 // the local generator for the next distinct local test. It also returns
-// how many candidate sequences the independent validator rejected.
-func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
+// how many candidate sequences the independent validator rejected, and
+// whether a done context interrupted the search (the other return values
+// are then meaningless and must not be committed).
+func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, Status, int, bool) {
 	gen := tdgen.New(w.net, f, w.e.meas, tdgen.Options{
 		Algebra:       w.e.alg,
 		MaxBacktracks: w.e.opts.LocalBacktracks,
@@ -121,12 +149,18 @@ func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
 	valFail := 0
 
 	for {
+		// Checked once per local alternative: each tdgen/semilet phase is
+		// budget-bounded, so this is the promptness granularity of
+		// cancellation.
+		if ctx.Err() != nil {
+			return nil, Pending, valFail, true
+		}
 		sol, st := gen.Next()
 		switch st {
 		case tdgen.Untestable:
-			return nil, Untestable, valFail
+			return nil, Untestable, valFail, false
 		case tdgen.Aborted:
-			return nil, Aborted, valFail
+			return nil, Aborted, valFail, false
 		}
 
 		seq := &TestSequence{
@@ -142,7 +176,7 @@ func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
 		if sol.ObservePO < 0 {
 			prop, pst := w.sem.Propagate(w.handoff(sol), budget)
 			if pst == semilet.Aborted {
-				return nil, Aborted, valFail
+				return nil, Aborted, valFail, false
 			}
 			if pst != semilet.Success {
 				continue // backtrack into the local generator
@@ -155,7 +189,7 @@ func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
 		// state of the local test.
 		sync, sst := w.sem.SynchronizeWith(sol.State0, budget, !w.e.opts.StrictInit)
 		if sst == semilet.Aborted {
-			return nil, Aborted, valFail
+			return nil, Aborted, valFail, false
 		}
 		if sst != semilet.Success {
 			continue
@@ -167,7 +201,7 @@ func (w *worker) generate(f faults.Delay) (*TestSequence, Status, int) {
 			valFail++
 			continue
 		}
-		return seq, Tested, valFail
+		return seq, Tested, valFail, false
 	}
 }
 

@@ -19,7 +19,7 @@ func TestTable3Integration(t *testing.T) {
 	got := make(map[string]row)
 	for _, p := range bench.Profiles {
 		c := p.Circuit()
-		sum := New(c, Options{}).Run()
+		sum := MustNew(c, Options{}).Run()
 		if sum.ValidationFailures != 0 {
 			t.Errorf("%s: %d validation failures", p.Name, sum.ValidationFailures)
 		}
@@ -58,8 +58,8 @@ func TestNonRobustShape(t *testing.T) {
 	totalRob, totalNon := 0, 0
 	for _, name := range []string{"s27", "s298", "s344", "s386", "s641"} {
 		c := bench.ProfileByName(name).Circuit()
-		rob := New(c, Options{}).Run()
-		non := New(c, Options{Algebra: logic.NonRobust}).Run()
+		rob := MustNew(c, Options{}).Run()
+		non := MustNew(c, Options{Algebra: logic.NonRobust}).Run()
 		if non.ValidationFailures != 0 {
 			t.Errorf("%s: non-robust validation failures: %d", name, non.ValidationFailures)
 		}
@@ -76,7 +76,7 @@ func TestNonRobustShape(t *testing.T) {
 // EXPERIMENTS.md: under strict all-X synchronization, s27's synchronizable
 // state space (G7 stuck at 1, G6 at 0) leaves no robustly testable fault.
 func TestStrictInitS27(t *testing.T) {
-	sum := New(bench.NewS27(), Options{StrictInit: true}).Run()
+	sum := MustNew(bench.NewS27(), Options{StrictInit: true}).Run()
 	if sum.Tested != 0 {
 		t.Fatalf("strict-init s27 tested = %d; the G7=0 unreachability argument says 0", sum.Tested)
 	}

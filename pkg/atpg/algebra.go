@@ -1,0 +1,73 @@
+package atpg
+
+import (
+	"fmt"
+
+	"fogbuster/internal/logic"
+)
+
+// AlgebraName resolves an algebra spelling to its canonical display name
+// ("robust" or "non-robust"), validating it in the process.
+func AlgebraName(algebra string) (string, error) {
+	alg, err := Config{Algebra: algebra}.algebra()
+	if err != nil {
+		return "", err
+	}
+	return alg.Name(), nil
+}
+
+// AlgebraValues returns the labels of the eight algebra values in table
+// order (the row and column headers of the paper's Tables 1 and 2).
+func AlgebraValues() []string {
+	out := make([]string, logic.NumValues)
+	for v := logic.Value(0); v < logic.NumValues; v++ {
+		out[v] = v.String()
+	}
+	return out
+}
+
+// TruthTable returns the 8x8 table of the named two-input gate ("and",
+// "or" or "xor") under the named algebra: cell [x][y] holds the label of
+// gate(x, y) with x and y indexing AlgebraValues. This regenerates the
+// paper's Table 1 and its derived variants.
+func TruthTable(algebra, gate string) ([][]string, error) {
+	alg, err := Config{Algebra: algebra}.algebra()
+	if err != nil {
+		return nil, err
+	}
+	var op func(x, y logic.Value) logic.Value
+	switch gate {
+	case "and":
+		op = alg.And
+	case "or":
+		op = alg.Or
+	case "xor":
+		op = alg.Xor
+	default:
+		return nil, fmt.Errorf("atpg: unknown gate %q (want and, or or xor)", gate)
+	}
+	out := make([][]string, logic.NumValues)
+	for x := logic.Value(0); x < logic.NumValues; x++ {
+		row := make([]string, logic.NumValues)
+		for y := logic.Value(0); y < logic.NumValues; y++ {
+			row[y] = op(x, y).String()
+		}
+		out[x] = row
+	}
+	return out, nil
+}
+
+// NotTable returns the inverter row under the named algebra: entry [x]
+// holds the label of NOT x with x indexing AlgebraValues (the paper's
+// Table 2).
+func NotTable(algebra string) ([]string, error) {
+	alg, err := Config{Algebra: algebra}.algebra()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, logic.NumValues)
+	for v := logic.Value(0); v < logic.NumValues; v++ {
+		out[v] = alg.Not(v).String()
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package atpg
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/netlist"
+	"fogbuster/internal/sim"
+)
+
+// Circuit is an immutable parsed circuit, the input to New. The zero
+// value is invalid; obtain circuits from ParseBench, LoadBench or
+// Benchmark.
+type Circuit struct {
+	c *netlist.Circuit
+}
+
+// ParseBench parses ISCAS'89 .bench text. The name labels the circuit in
+// results and error messages. Malformed input is reported as an error,
+// never a panic.
+func ParseBench(name, src string) (*Circuit, error) {
+	c, err := netlist.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("atpg: %w", err)
+	}
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("atpg: %s: empty netlist", name)
+	}
+	return &Circuit{c: c}, nil
+}
+
+// LoadBench reads and parses a .bench file.
+func LoadBench(path string) (*Circuit, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("atpg: %w", err)
+	}
+	return ParseBench(path, string(data))
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.c.Name }
+
+// Faults returns the size of the gate delay fault universe (two faults
+// per line).
+func (c *Circuit) Faults() int { return 2 * len(c.c.Lines()) }
+
+// Stats summarizes the size of a circuit, including the fault-universe
+// quantities of the paper's Table 3.
+type Stats struct {
+	Name     string `json:"name"`
+	PIs      int    `json:"pis"`
+	POs      int    `json:"pos"`
+	DFFs     int    `json:"dffs"`
+	Gates    int    `json:"gates"` // combinational gates (incl. NOT/BUF)
+	Stems    int    `json:"stems"`
+	Branches int    `json:"branches"`
+	Lines    int    `json:"lines"`  // stems + branches
+	Faults   int    `json:"faults"` // 2 * lines
+	MaxLevel int    `json:"max_level"`
+}
+
+// String formats the statistics on one line (the classic circstat shape).
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: pi=%d po=%d dff=%d gates=%d stems=%d branches=%d lines=%d depth=%d faults=%d",
+		s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, s.MaxLevel, s.Faults)
+}
+
+// Stats computes the circuit's size statistics.
+func (c *Circuit) Stats() Stats {
+	s := c.c.Stats()
+	return Stats{
+		Name: s.Name, PIs: s.PIs, POs: s.POs, DFFs: s.DFFs, Gates: s.Gates,
+		Stems: s.Stems, Branches: s.Branches, Lines: s.Lines,
+		Faults: 2 * s.Lines, MaxLevel: s.MaxLevel,
+	}
+}
+
+// GatesPerLevel returns the combinational gate count of every level,
+// index 0 holding level 1 (primary inputs and state elements sit on
+// level 0 and are excluded).
+func (c *Circuit) GatesPerLevel() []int {
+	t := sim.NewTopology(c.c)
+	out := make([]int, t.MaxLevel)
+	for l := int32(1); l <= t.MaxLevel; l++ {
+		out[l-1] = int(t.LevelOff[l+1] - t.LevelOff[l])
+	}
+	return out
+}
+
+// ConeSizes returns the minimum, median and maximum fanout-cone gate
+// count over every stem — the distribution that predicts how much the
+// event-driven cone kernels save over full levelized simulation.
+func (c *Circuit) ConeSizes() (lo, med, hi int) {
+	t := sim.NewTopology(c.c)
+	sizes := make([]int, t.NumNodes())
+	for i := range sizes {
+		sizes[i] = t.ConeGates(netlist.NodeID(i))
+	}
+	sort.Ints(sizes)
+	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
+}
+
+// PaperRow is one row of the paper's Table 3, for comparison against a
+// fresh run of the matching benchmark.
+type PaperRow struct {
+	Tested     int     `json:"tested"`
+	Untestable int     `json:"untestable"`
+	Aborted    int     `json:"aborted"`
+	Patterns   int     `json:"patterns"`
+	Seconds    float64 `json:"seconds"` // the paper's "<1" is recorded as 0.5
+}
+
+// BenchmarkInfo describes one built-in Table 3 benchmark.
+type BenchmarkInfo struct {
+	Name string
+	// Exact is true only for s27, which is embedded verbatim; the other
+	// circuits are profile-calibrated synthetic reconstructions whose
+	// fault universes match the paper.
+	Exact bool
+	// Paper is the paper's published row for the circuit.
+	Paper PaperRow
+}
+
+// Benchmarks lists the built-in Table 3 benchmark set in the paper's
+// presentation order.
+func Benchmarks() []BenchmarkInfo {
+	out := make([]BenchmarkInfo, 0, len(bench.Profiles))
+	for _, p := range bench.Profiles {
+		out = append(out, BenchmarkInfo{
+			Name:  p.Name,
+			Exact: p.Exact,
+			Paper: PaperRow{
+				Tested: p.Paper.Tested, Untestable: p.Paper.Untestable,
+				Aborted: p.Paper.Aborted, Patterns: p.Paper.Patterns,
+				Seconds: p.Paper.Seconds,
+			},
+		})
+	}
+	return out
+}
+
+// Benchmark returns a built-in circuit by name: any Table 3 benchmark
+// (see Benchmarks), the combinational "c17", or the parameterized
+// didactic families "rca<N>" (N-bit ripple-carry adder) and "shift<N>"
+// (N-bit shift register). Unknown names are errors.
+func Benchmark(name string) (*Circuit, error) {
+	switch {
+	case name == "c17":
+		return &Circuit{c: bench.NewC17()}, nil
+	case strings.HasPrefix(name, "rca"):
+		bits, err := famBits(name, "rca")
+		if err != nil {
+			return nil, err
+		}
+		return &Circuit{c: bench.RippleCarryAdder(bits)}, nil
+	case strings.HasPrefix(name, "shift"):
+		bits, err := famBits(name, "shift")
+		if err != nil {
+			return nil, err
+		}
+		return &Circuit{c: bench.ShiftRegister(bits)}, nil
+	}
+	for _, p := range bench.Profiles {
+		if p.Name == name {
+			c, err := bench.Synthesize(p)
+			if err != nil {
+				return nil, fmt.Errorf("atpg: %w", err)
+			}
+			return &Circuit{c: c}, nil
+		}
+	}
+	return nil, fmt.Errorf("atpg: unknown benchmark %q", name)
+}
+
+// famBits parses the size suffix of a parameterized circuit family name.
+func famBits(name, fam string) (int, error) {
+	bits, err := strconv.Atoi(name[len(fam):])
+	if err != nil || bits < 1 || bits > 64 {
+		return 0, fmt.Errorf("atpg: unknown benchmark %q (want %s<1..64>)", name, fam)
+	}
+	return bits, nil
+}

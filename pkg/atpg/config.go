@@ -1,0 +1,150 @@
+package atpg
+
+import (
+	"fmt"
+
+	"fogbuster/internal/core"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/order"
+)
+
+// Algebra names accepted by Config.Algebra.
+const (
+	// AlgebraRobust is the paper's eight-valued robust algebra, the
+	// default (the empty string means robust).
+	AlgebraRobust = "robust"
+	// AlgebraNonRobust is the paper's proposed non-robust relaxation.
+	AlgebraNonRobust = "nonrobust"
+)
+
+// Order names accepted by Config.Order (see internal/order for the
+// heuristics themselves).
+const (
+	OrderNatural     = "natural"
+	OrderTopological = "topo"
+	OrderSCOAP       = "scoap"
+	OrderADI         = "adi"
+)
+
+// Orders lists every recognized fault-targeting order, natural first.
+func Orders() []string { return []string{OrderNatural, OrderTopological, OrderSCOAP, OrderADI} }
+
+// Algebras lists every recognized fault-model algebra.
+func Algebras() []string { return []string{AlgebraRobust, AlgebraNonRobust} }
+
+// Config selects the run parameters. The zero value reproduces the
+// paper's setup: robust algebra, natural fault order, 100+100 backtrack
+// limits. Every field is a flat JSON-taggable value so configurations
+// can live in files and service requests; Validate (also called by New)
+// reports unknown names and negative budgets as errors.
+type Config struct {
+	// Algebra selects the fault model: "", "robust" or "nonrobust"
+	// ("non-robust" is accepted as an alias).
+	Algebra string `json:"algebra,omitempty"`
+	// Order selects the fault-targeting order: "", "natural", "topo",
+	// "scoap" or "adi". Ordering changes which faults are explicitly
+	// targeted versus credited by fault simulation, never a fault's own
+	// search.
+	Order string `json:"order,omitempty"`
+	// LocalBacktracks is the local generator's per-fault budget; 0 means
+	// the paper's 100.
+	LocalBacktracks int `json:"local_backtracks,omitempty"`
+	// SeqBacktracks is the sequential engine's per-fault budget, shared
+	// by propagation and synchronization; 0 means the paper's 100.
+	SeqBacktracks int `json:"seq_backtracks,omitempty"`
+	// MaxFrames bounds propagation and synchronization depth; 0 means 32.
+	MaxFrames int `json:"max_frames,omitempty"`
+	// DisableFaultSim turns off the post-generation fault simulation
+	// credit (every fault is then explicitly targeted).
+	DisableFaultSim bool `json:"disable_fault_sim,omitempty"`
+	// DisableValidation skips the independent end-to-end check of each
+	// generated sequence.
+	DisableValidation bool `json:"disable_validation,omitempty"`
+	// StrictInit demands true synchronizing sequences from the all-X
+	// power-up state instead of the default optimistic policy (see
+	// EXPERIMENTS.md).
+	StrictInit bool `json:"strict_init,omitempty"`
+	// VariationBudget enables the paper's future-work timing refinement
+	// with the given slack threshold; 0 keeps the pure robust handoff.
+	VariationBudget int `json:"variation_budget,omitempty"`
+	// Seed drives the random X-fill, the ADI ordering campaign and the
+	// compaction splice fills: one seed, one Result, at any worker count.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the ATPG worker count: 0 uses all CPUs, a negative
+	// value forces a single worker. Results are bit-identical at every
+	// count.
+	Workers int `json:"workers,omitempty"`
+	// ScalarCredit forces the scalar reference path of the credit sweep
+	// (differential-testing knob; results are identical).
+	ScalarCredit bool `json:"scalar_credit,omitempty"`
+	// FullEval forces full levelized simulation instead of the
+	// event-driven cone kernels (reference oracle; results are
+	// identical).
+	FullEval bool `json:"full_eval,omitempty"`
+	// Compact compacts the generated test set after the run
+	// (reverse-order drop + overlap splicing); the statistics land in
+	// Result.Compaction. A cancelled run is never compacted.
+	Compact bool `json:"compact,omitempty"`
+}
+
+// Validate reports the first invalid field: an unknown algebra or order
+// name, or a negative budget or depth (zero already means "use the
+// default", so a negative value is always a mistake).
+func (c Config) Validate() error {
+	if _, err := c.algebra(); err != nil {
+		return err
+	}
+	if _, err := order.Parse(c.Order); err != nil {
+		return fmt.Errorf("atpg: %v", err)
+	}
+	switch {
+	case c.LocalBacktracks < 0:
+		return fmt.Errorf("atpg: negative local_backtracks %d", c.LocalBacktracks)
+	case c.SeqBacktracks < 0:
+		return fmt.Errorf("atpg: negative seq_backtracks %d", c.SeqBacktracks)
+	case c.MaxFrames < 0:
+		return fmt.Errorf("atpg: negative max_frames %d", c.MaxFrames)
+	case c.VariationBudget < 0:
+		return fmt.Errorf("atpg: negative variation_budget %d", c.VariationBudget)
+	}
+	return nil
+}
+
+// algebra resolves the Algebra field.
+func (c Config) algebra() (*logic.Algebra, error) {
+	switch c.Algebra {
+	case "", AlgebraRobust:
+		return logic.Robust, nil
+	case AlgebraNonRobust, "non-robust":
+		return logic.NonRobust, nil
+	}
+	return nil, fmt.Errorf("atpg: unknown algebra %q (want robust or nonrobust)", c.Algebra)
+}
+
+// engineOptions translates a validated Config into the engine options.
+func (c Config) engineOptions() (core.Options, error) {
+	alg, err := c.algebra()
+	if err != nil {
+		return core.Options{}, err
+	}
+	h, err := order.Parse(c.Order)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("atpg: %v", err)
+	}
+	return core.Options{
+		Algebra:           alg,
+		LocalBacktracks:   c.LocalBacktracks,
+		SeqBacktracks:     c.SeqBacktracks,
+		MaxFrames:         c.MaxFrames,
+		DisableFaultSim:   c.DisableFaultSim,
+		DisableValidation: c.DisableValidation,
+		StrictInit:        c.StrictInit,
+		VariationBudget:   c.VariationBudget,
+		Seed:              c.Seed,
+		Workers:           c.Workers,
+		Order:             h,
+		ScalarCredit:      c.ScalarCredit,
+		FullEval:          c.FullEval,
+		Compact:           c.Compact,
+	}, nil
+}

@@ -1,0 +1,31 @@
+// Package atpg is the public, supported entry point to the FOGBUSTER
+// gate delay fault ATPG engine for non-scan sequential circuits
+// (importable as fogbuster/pkg/atpg). External code — the repository's
+// own cmd/ tools and examples/ included — drives the engine exclusively
+// through this package; everything under internal/ may change shape
+// between commits without notice.
+//
+// The surface is small and stable:
+//
+//   - Circuits come from ParseBench/LoadBench (ISCAS'89 .bench text) or
+//     Benchmark (the paper's Table 3 set plus a few didactic circuits).
+//   - New(circuit, config) validates the Config — unknown algebras or
+//     orderings and negative budgets are construction errors, never
+//     panics — and returns a single-use Session.
+//   - Session.Run(ctx) executes the full flow. Cancelling the context
+//     stops the workers promptly and returns the partial Result with
+//     Result.Err == ctx.Err(); every unprocessed fault is left
+//     StatusPending, and the processed prefix is bit-identical to the
+//     same prefix of an uncancelled run.
+//   - Session.Events (or Session.OnEvent) streams ordered per-fault
+//     commit events — FaultClassified, SequenceGenerated, CreditApplied,
+//     Progress — straight off the engine's merge loop, so consumers can
+//     render live progress or act on sequences before the summary.
+//   - Result and Sequence have canonical, round-trippable JSON encodings
+//     (golden-pinned by the package tests) as the machine-readable
+//     interface; Result.WriteCSV keeps the legacy CSV shape.
+//
+// Determinism contract: for a given circuit and Config (Seed included),
+// Run produces a bit-identical Result and event stream at every worker
+// count; see DESIGN.md §4 and §8.
+package atpg

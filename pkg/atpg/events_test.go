@@ -1,0 +1,137 @@
+package atpg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// collectEvents runs one session with the OnEvent callback and returns
+// the full stream plus the result.
+func collectEvents(t *testing.T, circuit string, cfg Config) ([]Event, *Result) {
+	t.Helper()
+	c, err := Benchmark(circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	ses.OnEvent(func(ev Event) { events = append(events, ev) })
+	res, err := ses.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res
+}
+
+// TestEventStreamWorkerInvariance pins the streaming contract: the
+// complete event stream — kinds, faults, sequences, progress — is
+// bit-identical at every worker count, because events are emitted by the
+// merge loop strictly in commit (targeting) order.
+func TestEventStreamWorkerInvariance(t *testing.T) {
+	for _, circuit := range []string{"s27", "s298"} {
+		base, _ := collectEvents(t, circuit, Config{Workers: -1})
+		for _, workers := range []int{2, 7} {
+			got, _ := collectEvents(t, circuit, Config{Workers: workers})
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("%s: event stream diverged at Workers=%d (serial %d events, got %d)",
+					circuit, workers, len(base), len(got))
+			}
+		}
+	}
+}
+
+// TestEventStreamCoherence checks the stream against the result it
+// narrates: progress advances one commit at a time, every fault is
+// classified exactly once (explicitly or by credit), and the sequence
+// events arrive in the result's generation order.
+func TestEventStreamCoherence(t *testing.T) {
+	events, res := collectEvents(t, "s298", Config{})
+
+	classified := make(map[string]Status)
+	var seqFaults []string
+	wantDone := 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventProgress:
+			wantDone++
+			if ev.Done != wantDone || ev.Total != len(res.Faults) {
+				t.Fatalf("progress %d/%d out of step, want %d/%d", ev.Done, ev.Total, wantDone, len(res.Faults))
+			}
+		case EventFaultClassified, EventCreditApplied:
+			if _, dup := classified[ev.Fault]; dup {
+				t.Fatalf("%s classified twice", ev.Fault)
+			}
+			classified[ev.Fault] = ev.Status
+			if ev.Kind == EventCreditApplied {
+				if ev.Status != StatusTestedBySim || ev.By == "" {
+					t.Fatalf("credit event malformed: %+v", ev)
+				}
+			}
+		case EventSequenceGenerated:
+			if ev.Seq == nil || ev.Seq.Fault != ev.Fault {
+				t.Fatalf("sequence event malformed: %+v", ev)
+			}
+			seqFaults = append(seqFaults, ev.Fault)
+		}
+	}
+	if wantDone != len(res.Faults) {
+		t.Fatalf("saw %d progress commits, want %d", wantDone, len(res.Faults))
+	}
+
+	// Every classified fault matches the final result; pending never
+	// appears in a complete run.
+	if len(classified) != res.Classified() {
+		t.Fatalf("stream classified %d faults, result %d", len(classified), res.Classified())
+	}
+	var wantSeqs []string
+	for _, fr := range res.Faults {
+		if st, ok := classified[fr.Fault]; ok {
+			if st != fr.Status {
+				t.Errorf("%s: stream says %s, result says %s", fr.Fault, st, fr.Status)
+			}
+		} else if fr.Status != StatusPending {
+			t.Errorf("%s: result %s but never announced", fr.Fault, fr.Status)
+		}
+		if fr.Seq != nil {
+			wantSeqs = append(wantSeqs, fr.Fault)
+		}
+	}
+	// Natural order commits in fault order, so the sequence events must
+	// mirror the explicit tests in result order exactly.
+	if !reflect.DeepEqual(seqFaults, wantSeqs) {
+		t.Fatalf("sequence events out of order:\n got %v\nwant %v", seqFaults, wantSeqs)
+	}
+}
+
+// TestEventsChannel: the channel variant delivers the same stream and
+// closes when Run returns.
+func TestEventsChannel(t *testing.T) {
+	c, err := Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := New(c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := ses.Events()
+	got := make(chan []Event, 1)
+	go func() {
+		var all []Event
+		for ev := range events {
+			all = append(all, ev)
+		}
+		got <- all
+	}()
+	if _, err := ses.Run(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	streamed := <-got
+	want, _ := collectEvents(t, "s27", Config{})
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("channel stream differs from callback stream (%d vs %d events)", len(streamed), len(want))
+	}
+}

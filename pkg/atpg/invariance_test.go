@@ -1,0 +1,60 @@
+package atpg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// canonicalBytes strips the two run-dependent fields (wall clock and the
+// echoed worker count) and returns the canonical encoding.
+func canonicalBytes(t *testing.T, res *Result) string {
+	t.Helper()
+	cp := *res
+	cp.Runtime = 0
+	cp.Workers = 0
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, &cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFacadeWorkerInvariance pins the determinism contract through the
+// public API: the canonical JSON of a Result — per-fault statuses,
+// sequences, detects-derived credit, compaction, everything — is
+// bit-identical at every worker count. This is the §4 worker-count
+// invariance restated over the wire format consumers actually read.
+func TestFacadeWorkerInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		circuit string
+		cfg     Config
+	}{
+		{"s27", Config{Seed: 42}},
+		{"s298", Config{}},
+		{"s298", Config{Order: OrderADI, Compact: true, Seed: 7}},
+		{"s386", Config{Algebra: AlgebraNonRobust}},
+	} {
+		base := ""
+		for _, workers := range []int{-1, 2, 7} {
+			cfg := tc.cfg
+			cfg.Workers = workers
+			res := mustRunTest(t, mustBenchmark(t, tc.circuit), cfg)
+			got := canonicalBytes(t, res)
+			if base == "" {
+				base = got
+			} else if got != base {
+				t.Errorf("%s %+v: Workers=%d diverged from the serial run", tc.circuit, tc.cfg, workers)
+			}
+		}
+	}
+}
+
+// mustBenchmark resolves a built-in circuit.
+func mustBenchmark(t *testing.T, name string) *Circuit {
+	t.Helper()
+	c, err := Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

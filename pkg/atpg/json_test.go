@@ -1,0 +1,221 @@
+package atpg
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fixedResult builds a fully-populated Result independent of any run, so
+// the golden encoding below pins the wire format itself.
+func fixedResult() *Result {
+	return &Result{
+		Circuit: "s27", Algebra: "robust", Order: "natural",
+		Seed: 42, Workers: 2,
+		Tested: 2, Explicit: 1, Untestable: 1, Aborted: 0, Pending: 1,
+		Patterns: 5, Runtime: 1500, ValidationFailures: 0,
+		Faults: []FaultResult{
+			{Fault: "G10->G11/StR", Status: StatusTested, Seq: &Sequence{
+				Fault:      "G10->G11/StR",
+				Sync:       []string{"X01X"},
+				V1:         "X01X",
+				V2:         "X11X",
+				Prop:       []string{"001X", "1011"},
+				ObservePO:  0,
+				ObservePPO: -1,
+				Assumed:    "XX0",
+				Dropped:    true,
+				Follows:    "G14/StF",
+			}},
+			{Fault: "G14/StF", Status: StatusTestedBySim},
+			{Fault: "G5/StR", Status: StatusUntestable},
+			{Fault: "G6/StR", Status: StatusPending},
+		},
+		Compaction: &Compaction{
+			Sequences: 3, Kept: 2, Dropped: 1,
+			PatternsBefore: 12, PatternsAfter: 8,
+			Splices: 1, SplicedFrames: 2, Complete: true,
+		},
+	}
+}
+
+// goldenResult is the pinned canonical encoding of fixedResult. Any
+// change here is a breaking change to the public wire format.
+const goldenResult = `{
+  "circuit": "s27",
+  "algebra": "robust",
+  "order": "natural",
+  "seed": 42,
+  "workers": 2,
+  "tested": 2,
+  "explicit": 1,
+  "untestable": 1,
+  "aborted": 0,
+  "pending": 1,
+  "patterns": 5,
+  "runtime_ns": 1500,
+  "faults": [
+    {
+      "fault": "G10->G11/StR",
+      "status": "tested",
+      "seq": {
+        "fault": "G10->G11/StR",
+        "sync": [
+          "X01X"
+        ],
+        "v1": "X01X",
+        "v2": "X11X",
+        "prop": [
+          "001X",
+          "1011"
+        ],
+        "observe_po": 0,
+        "observe_ppo": -1,
+        "assumed": "XX0",
+        "dropped": true,
+        "follows": "G14/StF"
+      }
+    },
+    {
+      "fault": "G14/StF",
+      "status": "tested_by_sim"
+    },
+    {
+      "fault": "G5/StR",
+      "status": "untestable"
+    },
+    {
+      "fault": "G6/StR",
+      "status": "pending"
+    }
+  ],
+  "compaction": {
+    "sequences": 3,
+    "kept": 2,
+    "dropped": 1,
+    "patterns_before": 12,
+    "patterns_after": 8,
+    "splices": 1,
+    "spliced_frames": 2,
+    "complete": true
+  }
+}`
+
+// TestResultGoldenJSON pins the canonical encoding byte for byte and
+// proves the round trip restores the identical value.
+func TestResultGoldenJSON(t *testing.T) {
+	in := fixedResult()
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if string(data) != goldenResult+"\n" {
+		t.Fatalf("canonical encoding drifted:\n--- got\n%s\n--- want\n%s", data, goldenResult)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&out, in) {
+		t.Fatalf("round trip changed the value:\n in %+v\nout %+v", in, &out)
+	}
+}
+
+// TestResultErrRoundTrip: the context sentinel errors survive the wire
+// as the same values, and arbitrary errors survive by message.
+func TestResultErrRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in   error
+		want error
+	}{
+		{nil, nil},
+		{context.Canceled, context.Canceled},
+		{context.DeadlineExceeded, context.DeadlineExceeded},
+		{errors.New("disk on fire"), errors.New("disk on fire")},
+	} {
+		r := &Result{Circuit: "x", Err: tc.in}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Result
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case tc.want == nil:
+			if out.Err != nil {
+				t.Errorf("nil Err round-tripped to %v", out.Err)
+			}
+		case tc.want == context.Canceled || tc.want == context.DeadlineExceeded:
+			if out.Err != tc.want {
+				t.Errorf("sentinel %v round-tripped to %v", tc.want, out.Err)
+			}
+		default:
+			if out.Err == nil || out.Err.Error() != tc.want.Error() {
+				t.Errorf("error %v round-tripped to %v", tc.want, out.Err)
+			}
+		}
+	}
+}
+
+// TestSequenceRoundTrip: a Sequence alone is a stable document too.
+func TestSequenceRoundTrip(t *testing.T) {
+	in := &Sequence{
+		Fault: "a/StR", Sync: []string{"01X"}, V1: "001", V2: "011",
+		Prop: []string{"111"}, ObservePO: 2, ObservePPO: -1,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Sequence
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&out, in) {
+		t.Fatalf("round trip changed the value:\n in %+v\nout %+v", in, &out)
+	}
+	if in.Len() != 4 || len(in.Frames()) != 4 {
+		t.Fatalf("Len/Frames inconsistent: %d, %d", in.Len(), len(in.Frames()))
+	}
+}
+
+// TestLiveResultRoundTrip: a Result produced by a real run round-trips
+// exactly (the end-to-end check behind the golden value above).
+func TestLiveResultRoundTrip(t *testing.T) {
+	c, err := Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := New(c, Config{Compact: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&out, res) {
+		t.Fatal("live result round trip changed the value")
+	}
+	again, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}

@@ -1,0 +1,133 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"fogbuster/internal/compact"
+	"fogbuster/internal/core"
+)
+
+// ErrAlreadyRun is returned by Session.Run when the session was already
+// executed; sessions are single-use.
+var ErrAlreadyRun = errors.New("atpg: session already run")
+
+// Session is one prepared ATPG run: a validated Config bound to a
+// Circuit. Configure streaming with Events or OnEvent before calling
+// Run; a Session is single-use.
+type Session struct {
+	circuit *Circuit
+	cfg     Config
+	eng     *core.Engine
+
+	started atomic.Bool
+	onEvent func(Event)
+	events  chan Event
+	// ctx is the Run context, stored so the event bridge can abandon
+	// channel sends when the run is cancelled; it is written once at the
+	// start of Run, before any event can fire, and read only from the
+	// merge loop (the Run goroutine).
+	ctx context.Context
+}
+
+// New validates the configuration and prepares a session for the
+// circuit. All configuration mistakes — unknown algebra or order names,
+// negative budgets — surface here as errors; nothing in the public API
+// panics on bad input.
+func New(c *Circuit, cfg Config) (*Session, error) {
+	if c == nil || c.c == nil {
+		return nil, errors.New("atpg: nil circuit")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := cfg.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{circuit: c, cfg: cfg}
+	opts.OnEvent = s.emit
+	eng, err := core.New(c.c, opts)
+	if err != nil {
+		// Unreachable after Validate; surfaced defensively.
+		return nil, fmt.Errorf("atpg: %w", err)
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// OnEvent registers a callback receiving every streaming event
+// synchronously on the Run goroutine, in commit order. It must be called
+// before Run and must not call back into the session.
+func (s *Session) OnEvent(fn func(Event)) { s.onEvent = fn }
+
+// Events returns the streaming event channel. It must be called before
+// Run; the channel is closed when Run returns its Result, so consumers
+// can simply range over it. Consumers must keep draining the channel
+// (directly or in a goroutine) while the run executes — the engine
+// blocks on a full buffer — except after cancellation, when pending
+// sends are abandoned.
+func (s *Session) Events() <-chan Event {
+	if s.events == nil {
+		s.events = make(chan Event, 256)
+	}
+	return s.events
+}
+
+// emit bridges one engine event to the registered consumers. Without a
+// consumer it returns before converting (name resolution and frame
+// strings would otherwise burn on every commit of a plain Run).
+func (s *Session) emit(ev core.Event) {
+	if s.onEvent == nil && s.events == nil {
+		return
+	}
+	out := eventOf(s.circuit.c, ev)
+	if s.onEvent != nil {
+		s.onEvent(out)
+	}
+	if s.events != nil {
+		select {
+		case s.events <- out:
+		case <-s.ctx.Done():
+			// The consumer may have stopped draining after cancellation;
+			// the merge loop stops committing momentarily.
+		}
+	}
+}
+
+// Run executes the full ATPG flow and returns the result. The context
+// governs cancellation: when it is cancelled or times out, Run stops the
+// workers promptly and returns the partial Result with Result.Err ==
+// ctx.Err() (also returned as the error); every unprocessed fault is
+// left StatusPending, and the processed prefix is bit-identical to the
+// same prefix of an uncancelled run. A complete run returns a nil error.
+//
+// When Config.Compact is set and the run completes, the test set is
+// compacted before the Result is built; a cancelled run is never
+// compacted. The Events channel, if requested, is closed before Run
+// returns.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if !s.started.CompareAndSwap(false, true) {
+		return nil, ErrAlreadyRun
+	}
+	if s.events != nil {
+		defer close(s.events)
+	}
+	s.ctx = ctx
+	sum, runErr := s.eng.RunContext(ctx)
+	if s.cfg.Compact && runErr == nil {
+		opts, _ := s.cfg.engineOptions() // validated in New
+		st := compact.Apply(s.circuit.c, sum, compact.Options{
+			Algebra:  opts.Algebra,
+			Seed:     s.cfg.Seed,
+			FullEval: s.cfg.FullEval,
+		})
+		if !st.Complete {
+			return nil, errors.New("atpg: compaction refused: recorded detection sets are absent or incomplete")
+		}
+	}
+	res := resultOf(s.circuit.c, s.cfg, sum, runErr)
+	return res, runErr
+}
