@@ -464,3 +464,70 @@ func BenchmarkAblationTimedHandoff(b *testing.B) {
 		b.ReportMetric(float64(timed), "untestable-timed")
 	})
 }
+
+// BenchmarkScaleOut measures the scale-out layer end to end: a budgeted
+// run on the industrial s15850-class profile at 16 workers, stock
+// against the broadcast and stealing knobs, plus the full-flow effect on
+// the explicit-generation-heavy s1196. Results are bit-identical across
+// all variants (pinned by TestBroadcastStealInvariance); the benchmark
+// exists for the wall clock. On a single-CPU host the broadcast's win is
+// avoided speculative generation; with real cores it also removes
+// cross-worker duplication.
+func BenchmarkScaleOut(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"stock", core.Options{Workers: 16}},
+		{"broadcast", core.Options{Workers: 16, Broadcast: true}},
+		{"broadcast-steal", core.Options{Workers: 16, Broadcast: true, Steal: true}},
+	}
+	b.Run("s15850-mt32", func(b *testing.B) {
+		c := bench.ProfileByName("s15850").Circuit()
+		for _, v := range variants {
+			opts := v.opts
+			opts.MaxTargets = 32
+			b.Run(v.name, func(b *testing.B) {
+				var skips, steals int
+				for i := 0; i < b.N; i++ {
+					sum := core.MustNew(c, opts).Run()
+					skips, steals = sum.BroadcastSkips, sum.Steals
+				}
+				b.ReportMetric(float64(skips), "skips")
+				b.ReportMetric(float64(steals), "steals")
+			})
+		}
+	})
+	b.Run("s1196", func(b *testing.B) {
+		c := bench.ProfileByName("s1196").Circuit()
+		for _, v := range variants {
+			b.Run(v.name, func(b *testing.B) {
+				var skips, steals int
+				for i := 0; i < b.N; i++ {
+					sum := core.MustNew(c, v.opts).Run()
+					skips, steals = sum.BroadcastSkips, sum.Steals
+				}
+				b.ReportMetric(float64(skips), "skips")
+				b.ReportMetric(float64(steals), "steals")
+			})
+		}
+	})
+}
+
+// BenchmarkConeMemory measures lazy cone-set construction — the full
+// all-stems build that replaced the O(nodes²/8) dense matrix — on the
+// industrial profiles, reporting the dense and actual footprints.
+func BenchmarkConeMemory(b *testing.B) {
+	for _, name := range []string{"s1238", "s15850", "s38584"} {
+		c := bench.ProfileByName(name).Circuit()
+		b.Run(name, func(b *testing.B) {
+			var dense, actual int64
+			for i := 0; i < b.N; i++ {
+				topo := sim.NewTopology(c)
+				dense, actual = topo.ConeFootprint()
+			}
+			b.ReportMetric(float64(dense), "dense-bytes")
+			b.ReportMetric(float64(actual), "actual-bytes")
+		})
+	}
+}

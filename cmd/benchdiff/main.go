@@ -1,0 +1,139 @@
+// Benchdiff compares two BENCH.json files (the benchjson output CI
+// uploads as an artifact) benchmark by benchmark and prints one line per
+// common benchmark with the old and new ns/op and the relative change.
+// With -max-regress it exits non-zero when any common benchmark's ns/op
+// regressed by more than the given percentage — the CI gate that keeps a
+// PR from silently giving back the optimizations the trajectory in
+// EXPERIMENTS.md records. Benchmarks present on only one side are listed
+// but never gate (the set grows PR over PR).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Record mirrors benchjson's output shape.
+type Record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// errUsage marks a command-line error whose message was already printed.
+var errUsage = errors.New("usage error")
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxRegress := fs.Float64("max-regress", 0, "fail (exit 1) when any common benchmark's ns/op regresses by more than this percentage (0 = report only)")
+	metric := fs.String("metric", "ns/op", "metric to compare")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	report, failures := diff(old, cur, *metric, *maxRegress)
+	fmt.Fprint(stdout, report)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "benchdiff: REGRESSION %s\n", f)
+		}
+		return 1
+	}
+	return 0
+}
+
+// load reads one BENCH.json file into a name-indexed map; duplicate
+// names (e.g. -count>1 runs) keep the first record, matching the
+// baseline-pinning intent.
+func load(path string) (map[string]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		if _, dup := out[r.Name]; !dup {
+			out[r.Name] = r
+		}
+	}
+	return out, nil
+}
+
+// diff renders the comparison table and returns the regression messages
+// exceeding maxRegress percent (none when maxRegress is 0).
+func diff(old, cur map[string]Record, metric string, maxRegress float64) (string, []string) {
+	names := make([]string, 0, len(old)+len(cur))
+	for n := range old {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := old[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	out := fmt.Sprintf("%-60s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
+	var failures []string
+	for _, n := range names {
+		o, haveOld := old[n]
+		c, haveCur := cur[n]
+		ov, okOld := o.Metrics[metric]
+		cv, okCur := c.Metrics[metric]
+		switch {
+		case !haveOld || !okOld:
+			if okCur {
+				out += fmt.Sprintf("%-60s %14s %14.0f %8s\n", n, "-", cv, "new")
+			}
+		case !haveCur || !okCur:
+			out += fmt.Sprintf("%-60s %14.0f %14s %8s\n", n, ov, "-", "gone")
+		default:
+			delta := 0.0
+			if ov != 0 {
+				delta = 100 * (cv - ov) / ov
+			}
+			out += fmt.Sprintf("%-60s %14.0f %14.0f %+7.1f%%\n", n, ov, cv, delta)
+			if maxRegress > 0 && delta > maxRegress {
+				failures = append(failures,
+					fmt.Sprintf("%s: %s %+.1f%% (limit %+.1f%%)", n, metric, delta, maxRegress))
+			}
+		}
+	}
+	return out, failures
+}

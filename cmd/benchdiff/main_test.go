@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write drops a BENCH.json file into the test's temp dir.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldJSON = `[
+ {"name":"BenchmarkA","runs":10,"metrics":{"ns/op":1000,"B/op":64}},
+ {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":2000}},
+ {"name":"BenchmarkGone","runs":10,"metrics":{"ns/op":5}}
+]`
+
+// TestBenchdiffReport pins the comparison semantics: common benchmarks
+// get a delta, one-sided benchmarks are labeled new/gone and never gate.
+func TestBenchdiffReport(t *testing.T) {
+	dir := t.TempDir()
+	o := write(t, dir, "old.json", oldJSON)
+	n := write(t, dir, "new.json", `[
+ {"name":"BenchmarkA","runs":10,"metrics":{"ns/op":1100}},
+ {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":1500}},
+ {"name":"BenchmarkNew","runs":10,"metrics":{"ns/op":7}}
+]`)
+	var out, errOut strings.Builder
+	if code := run([]string{o, n}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d without -max-regress; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"+10.0%", "-25.0%", "new", "gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestBenchdiffGate pins the CI contract: a regression beyond the limit
+// exits 1 and names the benchmark; within the limit exits 0.
+func TestBenchdiffGate(t *testing.T) {
+	dir := t.TempDir()
+	o := write(t, dir, "old.json", oldJSON)
+	n := write(t, dir, "new.json", `[
+ {"name":"BenchmarkA","runs":10,"metrics":{"ns/op":1600}},
+ {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":2010}}
+]`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-max-regress", "50", o, n}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 for a 60%% regression", code)
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkA") {
+		t.Errorf("failure message does not name the benchmark: %s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-max-regress", "75", o, n}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0 within the limit; stderr: %s", code, errOut.String())
+	}
+}
+
+// TestBenchdiffUsage pins the error paths: wrong arity and unreadable
+// files exit 2.
+func TestBenchdiffUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"only-one.json"}, &out, &errOut); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errOut); code != 2 {
+		t.Errorf("missing files: exit %d, want 2", code)
+	}
+}

@@ -1,6 +1,9 @@
 // Circstat prints size statistics and the delay fault universe for
 // circuits: either .bench files given as arguments, or (with no
-// arguments) the full Table 3 benchmark set. File mode additionally
+// arguments) the full Table 3 benchmark set (-large appends the
+// industrial s15850/s38584-class profiles). Each table row also shows
+// the cone-set memory footprint — dense all-stems matrix bytes next to
+// what the auto policy actually allocates — and file mode additionally
 // reports the per-level gate histogram and the fanout-cone size
 // distribution — the numbers that predict how much the event-driven
 // selective-trace kernel saves over full levelized simulation (small
@@ -26,6 +29,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("circstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("circuit", "", "table mode: print only the named benchmark (e.g. s27)")
+	large := fs.Bool("large", false, "table mode: include the industrial-scale benchmarks (s15850, s38584)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: circstat [file.bench ...]\n")
 		fmt.Fprintf(stderr, "With no arguments, prints the Table 3 benchmark set.\n")
@@ -39,11 +43,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	if fs.NArg() == 0 {
-		fmt.Fprintf(stdout, "%-8s %5s %5s %5s %7s %7s %9s %7s %7s %7s %6s %6s %6s\n",
+		fmt.Fprintf(stdout, "%-8s %5s %5s %5s %7s %7s %9s %7s %7s %7s %6s %6s %6s %10s %10s\n",
 			"circuit", "pi", "po", "dff", "gates", "stems", "branches", "lines", "faults", "depth",
-			"cmin%", "cmed%", "cmax%")
+			"cmin%", "cmed%", "cmax%", "cdense", "cactual")
+		set := atpg.Benchmarks()
+		if *large {
+			set = append(set, atpg.LargeBenchmarks()...)
+		}
 		matched := 0
-		for _, b := range atpg.Benchmarks() {
+		for _, b := range set {
 			if *only != "" && b.Name != *only {
 				continue
 			}
@@ -59,10 +67,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				note = " (exact)"
 			}
 			lo, med, hi := c.ConeSizes()
+			dense, actual, err := c.ConeMemory("auto")
+			if err != nil {
+				fmt.Fprintf(stderr, "circstat: %v\n", err)
+				return 1
+			}
 			g := float64(s.Gates)
-			fmt.Fprintf(stdout, "%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d %5.1f%% %5.1f%% %5.1f%%%s\n",
+			fmt.Fprintf(stdout, "%-8s %5d %5d %5d %7d %7d %9d %7d %7d %7d %5.1f%% %5.1f%% %5.1f%% %10d %10d%s\n",
 				s.Name, s.PIs, s.POs, s.DFFs, s.Gates, s.Stems, s.Branches, s.Lines, s.Faults, s.MaxLevel,
-				100*float64(lo)/g, 100*float64(med)/g, 100*float64(hi)/g, note)
+				100*float64(lo)/g, 100*float64(med)/g, 100*float64(hi)/g, dense, actual, note)
 		}
 		if matched == 0 {
 			fmt.Fprintf(stderr, "circstat: no benchmark named %q (see the table for valid names)\n", *only)
@@ -95,4 +108,8 @@ func topoReport(w io.Writer, c *atpg.Circuit) {
 	fmt.Fprintf(w, "  fanout cones (gates): min %d median %d max %d of %d (%.1f%% / %.1f%% / %.1f%%)\n",
 		lo, med, hi, g,
 		100*float64(lo)/float64(g), 100*float64(med)/float64(g), 100*float64(hi)/float64(g))
+	if dense, actual, err := c.ConeMemory("auto"); err == nil {
+		fmt.Fprintf(w, "  cone-set memory: dense matrix %d bytes, auto policy %d bytes (%.1f%%)\n",
+			dense, actual, 100*float64(actual)/float64(dense))
+	}
 }

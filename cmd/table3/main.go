@@ -31,6 +31,9 @@ type config struct {
 	compact   bool
 	seed      int64
 	fullEval  bool
+	broadcast bool
+	steal     bool
+	coneSets  string
 	jsonOut   string
 	order     string
 }
@@ -52,6 +55,9 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 0, "run seed: drives the random X-fill, the ADI ordering campaign and the splice fills (one seed, one table, at any worker count)")
 	fs.BoolVar(&cfg.compact, "compact", false, "compact every test set and report vectors before/after")
 	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
+	fs.BoolVar(&cfg.broadcast, "broadcast", false, "cross-worker detected-set broadcast (pure scheduling; results are identical)")
+	fs.BoolVar(&cfg.steal, "steal", false, "work-stealing claim ranges instead of the shared counter (pure scheduling; results are identical)")
+	fs.StringVar(&cfg.coneSets, "conesets", "auto", "cone-set representation: auto, dense or compressed (memory/speed trade; results are identical)")
 	fs.StringVar(&cfg.jsonOut, "json", "", "write every run's canonical atpg.Result as one JSON array to this file (- for stdout)")
 	fs.StringVar(&cfg.order, "order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
@@ -84,6 +90,9 @@ func (cfg *config) engineConfig() atpg.Config {
 		Workers:         cfg.workers,
 		Compact:         cfg.compact,
 		FullEval:        cfg.fullEval,
+		Broadcast:       cfg.broadcast,
+		Steal:           cfg.steal,
+		ConeSets:        cfg.coneSets,
 	}
 }
 

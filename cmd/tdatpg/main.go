@@ -37,6 +37,10 @@ type config struct {
 	compact   bool
 	seed      int64
 	fullEval  bool
+	broadcast bool
+	steal     bool
+	coneSets  string
+	maxTarg   int
 	cpuProf   string
 	memProf   string
 	order     string
@@ -68,6 +72,10 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.fullEval, "fulleval", false, "force full levelized simulation instead of the event-driven cone kernels (reference oracle; results are identical)")
 	fs.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&cfg.memProf, "memprofile", "", "write a heap profile (taken after the run) to this file")
+	fs.BoolVar(&cfg.broadcast, "broadcast", false, "cross-worker detected-set broadcast (pure scheduling; results are identical)")
+	fs.BoolVar(&cfg.steal, "steal", false, "work-stealing claim ranges instead of the shared counter (pure scheduling; results are identical)")
+	fs.StringVar(&cfg.coneSets, "conesets", "auto", "cone-set representation: auto, dense or compressed (memory/speed trade; results are identical)")
+	fs.IntVar(&cfg.maxTarg, "maxtargets", 0, "budget the run to the first N targeting positions (0 = the whole universe)")
 	fs.StringVar(&cfg.order, "order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -111,6 +119,10 @@ func (cfg *config) engineConfig() atpg.Config {
 		Workers:         cfg.workers,
 		Compact:         cfg.compact,
 		FullEval:        cfg.fullEval,
+		Broadcast:       cfg.broadcast,
+		Steal:           cfg.steal,
+		ConeSets:        cfg.coneSets,
+		MaxTargets:      cfg.maxTarg,
 	}
 }
 
@@ -192,7 +204,14 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 			ticked := false
 			for ev := range events {
 				if ev.Kind == atpg.EventProgress {
-					fmt.Fprintf(stderr, "\rtdatpg: %d/%d faults", ev.Done, ev.Total)
+					line := fmt.Sprintf("\rtdatpg: %d/%d faults", ev.Done, ev.Total)
+					if ev.Skipped > 0 {
+						line += fmt.Sprintf(", %d skipped", ev.Skipped)
+					}
+					if ev.Stolen > 0 {
+						line += fmt.Sprintf(", %d steals", ev.Stolen)
+					}
+					fmt.Fprint(stderr, line)
 					ticked = true
 				}
 			}
@@ -227,6 +246,10 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, c.Stats())
 	fmt.Fprintf(stdout, "model=%s order=%s tested=%d (explicit %d) untestable=%d aborted=%d patterns=%d time=%v\n",
 		res.Algebra, res.Order, res.Tested, res.Explicit, res.Untestable, res.Aborted, res.Patterns, res.Runtime)
+	if res.BroadcastSkips > 0 || res.Steals > 0 {
+		fmt.Fprintf(stdout, "scale-out: %d broadcast skips (%d regenerated), %d steals\n",
+			res.BroadcastSkips, res.BroadcastMisses, res.Steals)
+	}
 	if st := res.Compaction; st != nil {
 		fmt.Fprintf(stdout, "compaction: vectors %d -> %d, sequences %d -> %d (%d dropped, %d pairs spliced saving %d vectors)\n",
 			st.PatternsBefore, st.PatternsAfter, st.Sequences, st.Kept, st.Dropped, st.Splices, st.SplicedFrames)

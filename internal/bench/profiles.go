@@ -87,11 +87,33 @@ var Profiles = []Profile{
 		Style: Pipeline, Seed: 1238, Paper: PaperRow{2181, 136, 13, 1524, 301}},
 }
 
-// ProfileByName returns the profile with the given name, or nil.
+// LargeProfiles lists industrial-scale circuits beyond the paper's
+// Table 3: the two biggest ISCAS'89 machines, reconstructed with the same
+// calibrated synthesizer. The paper never ran them (its prototype was
+// reported on circuits up to ~500 gates), so there is no PaperRow; they
+// exist to exercise the scale-out machinery — memory-lean cone sets,
+// broadcast, work stealing, budgeted runs — at realistic node counts.
+// They are deliberately NOT part of Profiles: the Table 3 experiments and
+// integration tests iterate that slice, and a full ATPG run over ~20k
+// gates is a benchmark workload, not a test.
+var LargeProfiles = []Profile{
+	{Name: "s15850", PIs: 77, POs: 150, FFs: 534, Gates: 9772, TargetLines: 15850,
+		Style: Mixed, Seed: 15850},
+	{Name: "s38584", PIs: 38, POs: 304, FFs: 1426, Gates: 19253, TargetLines: 38584,
+		Style: Mixed, Seed: 38584},
+}
+
+// ProfileByName returns the profile with the given name — Table 3 and
+// large-scale profiles both resolve — or nil.
 func ProfileByName(name string) *Profile {
 	for i := range Profiles {
 		if Profiles[i].Name == name {
 			return &Profiles[i]
+		}
+	}
+	for i := range LargeProfiles {
+		if LargeProfiles[i].Name == name {
+			return &LargeProfiles[i]
 		}
 	}
 	return nil

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"fogbuster/internal/bench"
+)
+
+// TestBroadcastStealInvariance pins the tentpole contract of the
+// scale-out layer: the advisory detected-set broadcast and the
+// work-stealing claimer — separately and combined — leave the Summary
+// bit-identical to the stock run at every worker count. Only Runtime and
+// the observability counters may differ, and summarize() excludes those.
+func TestBroadcastStealInvariance(t *testing.T) {
+	circuits := []string{"s27", "s298", "s386"}
+	workerCounts := []int{1, 4, 16}
+	if testing.Short() {
+		// The race job runs with -short: keep the 16-worker stress on a
+		// non-trivial circuit, trim the sweep.
+		circuits = []string{"s27", "s298"}
+		workerCounts = []int{4, 16}
+	}
+	for _, name := range circuits {
+		c := bench.ProfileByName(name).Circuit()
+		base := summarize(MustNew(c, Options{Workers: 1}).Run())
+		for _, workers := range workerCounts {
+			for _, opt := range []Options{
+				{Workers: workers, Broadcast: true},
+				{Workers: workers, Steal: true},
+				{Workers: workers, Broadcast: true, Steal: true},
+			} {
+				got := summarize(MustNew(c, opt).Run())
+				if got != base {
+					t.Errorf("%s: Workers=%d Broadcast=%v Steal=%v diverged from stock serial run:\n--- stock\n%s--- got\n%s",
+						name, workers, opt.Broadcast, opt.Steal, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastStealOrderingInvariance extends the contract to a
+// non-trivial targeting permutation: under the ADI ordering the
+// broadcast+steal run still reproduces the stock Summary bit for bit.
+func TestBroadcastStealOrderingInvariance(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	base := summarize(MustNew(c, Options{Workers: 1, Order: "adi"}).Run())
+	for _, workers := range []int{4, 16} {
+		got := summarize(MustNew(c, Options{Workers: workers, Order: "adi", Broadcast: true, Steal: true}).Run())
+		if got != base {
+			t.Errorf("adi: Workers=%d broadcast+steal diverged from stock serial run", workers)
+		}
+	}
+}
+
+// TestMaxTargetsPrefix pins the budgeted-run semantics: MaxTargets=K
+// processes exactly the first K positions of the targeting permutation,
+// their outcomes bit-identical to the full run's (a budget is a
+// deterministic cancellation), every later fault Pending unless an
+// in-budget sequence credited it, and the whole budgeted Summary
+// invariant across worker counts and the scale-out knobs.
+func TestMaxTargetsPrefix(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	full := MustNew(c, Options{Workers: 1}).Run()
+	n := len(full.Results)
+	k := n / 3
+
+	budget := MustNew(c, Options{Workers: 1, MaxTargets: k}).Run()
+	// Positions 0..k-1 (natural order: fault indices 0..k-1) must match
+	// the full run exactly; beyond the budget only Pending and
+	// TestedBySim may appear.
+	pending := 0
+	for i, r := range budget.Results {
+		if i < k {
+			if r.Status != full.Results[i].Status {
+				t.Errorf("fault %d (in budget): status %v, full run says %v", i, r.Status, full.Results[i].Status)
+			}
+			continue
+		}
+		switch r.Status {
+		case Pending:
+			pending++
+		case TestedBySim:
+		default:
+			t.Errorf("fault %d (beyond budget): status %v", i, r.Status)
+		}
+	}
+	if pending == 0 {
+		t.Fatalf("MaxTargets=%d of %d left no fault pending; budget not exercised", k, n)
+	}
+	if len(budget.SeqOrder) == 0 {
+		t.Fatal("budgeted run generated no sequences")
+	}
+
+	base := summarize(budget)
+	for _, workers := range []int{4, 16} {
+		got := summarize(MustNew(c, Options{Workers: workers, MaxTargets: k, Broadcast: true, Steal: true}).Run())
+		if got != base {
+			t.Errorf("MaxTargets=%d: Workers=%d broadcast+steal diverged from serial budgeted run", k, workers)
+		}
+	}
+}
+
+// TestStealClaimerExhaustive pins the claimer contract directly: every
+// position in [0, n) is handed out exactly once, under heavy concurrent
+// claiming and stealing.
+func TestStealClaimerExhaustive(t *testing.T) {
+	const n, workers = 1000, 16
+	c := newStealClaimer(n, workers)
+	var seen [n]atomic.Int32
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			for {
+				p, ok := c.claim(self)
+				if !ok {
+					done <- struct{}{}
+					return
+				}
+				seen[p].Add(1)
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for p := range seen {
+		if got := seen[p].Load(); got != 1 {
+			t.Fatalf("position %d claimed %d times", p, got)
+		}
+	}
+}
+
+// TestCancelMidStealCoherent checks cancellation coherence under the
+// scale-out knobs: a context cancelled mid-run leaves a committed prefix
+// that is bit-identical to the same prefix of an uncancelled run —
+// stealing and advisory skips never let a wrong or out-of-order outcome
+// commit, even while ranges are being carved up.
+func TestCancelMidStealCoherent(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	full := MustNew(c, Options{Workers: 1}).Run()
+
+	for _, cut := range []int{1, 7, 25} {
+		ctx, cancel := context.WithCancel(context.Background())
+		committed := 0
+		e := MustNew(c, Options{
+			Workers:   16,
+			Broadcast: true,
+			Steal:     true,
+			OnEvent: func(ev Event) {
+				if ev.Kind == EventProgress {
+					committed = ev.Done
+					if ev.Done == cut {
+						cancel()
+					}
+				}
+			},
+		})
+		sum, err := e.RunContext(ctx)
+		cancel()
+		if err == nil {
+			t.Fatalf("cut=%d: cancelled run reported no error", cut)
+		}
+		if committed < cut {
+			t.Fatalf("cut=%d: only %d positions committed", cut, committed)
+		}
+		// Every fault the truncated run classified explicitly must carry
+		// the status the full run assigned it. (Credit chronology can
+		// differ in the tail — a cancelled run may miss credits — so only
+		// explicit statuses are compared.)
+		for i, r := range sum.Results {
+			if r.Status == Pending || r.Status == TestedBySim {
+				continue
+			}
+			if want := full.Results[i].Status; r.Status != want {
+				t.Errorf("cut=%d: fault %d committed %v, full run says %v", cut, i, r.Status, want)
+			}
+			if r.Seq != nil && full.Results[i].Seq != nil && r.Seq.Len() != full.Results[i].Seq.Len() {
+				t.Errorf("cut=%d: fault %d sequence length %d, full run says %d", cut, i, r.Seq.Len(), full.Results[i].Seq.Len())
+			}
+		}
+	}
+}
+
+// TestBroadcastCountersObservable makes sure the observability counters
+// actually observe something: on a circuit with substantial simulation
+// credit the broadcast must record skips (misses stay a subset) and a
+// 16-worker steal run on a single stripe-starved universe must record
+// steals. The counters are scheduling-dependent, so only coarse
+// properties are pinned.
+func TestBroadcastCountersObservable(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	sum := MustNew(c, Options{Workers: 16, Broadcast: true, Steal: true}).Run()
+	if sum.BroadcastMisses > sum.BroadcastSkips {
+		t.Errorf("misses %d exceed skips %d", sum.BroadcastMisses, sum.BroadcastSkips)
+	}
+	if sum.BroadcastSkips < 0 || sum.Steals < 0 {
+		t.Errorf("negative counters: skips=%d steals=%d", sum.BroadcastSkips, sum.Steals)
+	}
+	stock := MustNew(c, Options{Workers: 16}).Run()
+	if stock.BroadcastSkips != 0 || stock.BroadcastMisses != 0 || stock.Steals != 0 {
+		t.Errorf("stock run reported scale-out counters: %+v", stock)
+	}
+}

@@ -138,6 +138,38 @@ type Options struct {
 	// worker count, pinned by TestEventDrivenInvariance; the knob exists
 	// as the reference oracle for differential tests and benchmarks.
 	FullEval bool
+	// ConeSets selects the representation of the shared topology's lazy
+	// per-stem cone membership sets: "" or "auto" (pick per stem), "dense"
+	// (bitsets, the pre-compression oracle), "compressed" (interval
+	// lists). Purely a memory/speed trade — every policy answers cone
+	// queries identically — so results never depend on it.
+	ConeSets string
+	// Broadcast enables the cross-worker detected-set broadcast: workers
+	// publish the detection list of every completed sequence before its
+	// commit turn, and other workers consult that advisory snapshot before
+	// claiming a fault and between local alternatives, skipping faults a
+	// finished sequence already covers. The merge loop stays the sole
+	// authority — an advisory skip whose coverer is discarded at commit is
+	// regenerated inline, deterministically — so the Summary remains
+	// bit-identical to a run without the broadcast, at every worker count.
+	// Only Runtime and the observability counters (Summary.BroadcastSkips,
+	// Summary.BroadcastMisses) change.
+	Broadcast bool
+	// Steal replaces the shared claim counter with per-worker striped
+	// position ranges plus work-stealing: a worker whose range runs dry
+	// takes the back half of the largest remaining range. Claim order is
+	// pure scheduling — commits still follow the canonical targeting
+	// permutation — so the Summary is bit-identical to the stock claimer;
+	// only Runtime and Summary.Steals change.
+	Steal bool
+	// MaxTargets, when positive, caps the run at the first MaxTargets
+	// positions of the targeting permutation; every later fault is left
+	// Pending (it may still be credited TestedBySim by an in-budget
+	// sequence). The processed prefix is bit-identical to the same prefix
+	// of an unbudgeted run — the semantics of a deterministic
+	// cancellation — which makes budgeted runs on industrial-scale
+	// circuits reproducible.
+	MaxTargets int
 	// Compact records the full detection set of every generated sequence
 	// (TestSequence.Detects) and the generation order (Summary.SeqOrder)
 	// so that internal/compact can drop and splice sequences after the
@@ -231,6 +263,16 @@ type Summary struct {
 	// ValidationFailures counts generated sequences the independent
 	// checker rejected; it must be zero and exists as a self-check.
 	ValidationFailures int
+	// BroadcastSkips counts the advisory skips workers took under
+	// Options.Broadcast; BroadcastMisses is the subset the merge loop had
+	// to take back by regenerating inline (the skipped fault was still
+	// pending when its position committed). Steals counts range-stealing
+	// operations under Options.Steal. All three are scheduling-dependent
+	// observability counters, like Runtime: they vary run to run and are
+	// excluded from canonical results.
+	BroadcastSkips  int
+	BroadcastMisses int
+	Steals          int
 	// SeqOrder lists the Results indices of explicitly tested faults in
 	// generation (commit) order; test-set compaction replays it in
 	// reverse.
@@ -294,6 +336,12 @@ func New(c *netlist.Circuit, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: negative MaxFrames %d", opts.MaxFrames)
 	case opts.VariationBudget < 0:
 		return nil, fmt.Errorf("core: negative VariationBudget %d", opts.VariationBudget)
+	case opts.MaxTargets < 0:
+		return nil, fmt.Errorf("core: negative MaxTargets %d", opts.MaxTargets)
+	}
+	conePolicy, err := sim.ParseConePolicy(opts.ConeSets)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v", err)
 	}
 	if opts.Algebra == nil {
 		opts.Algebra = logic.Robust
@@ -311,6 +359,7 @@ func New(c *netlist.Circuit, opts Options) (*Engine, error) {
 		meas: testability.Compute(c),
 		topo: sim.NewTopology(c),
 	}
+	e.topo.SetConePolicy(conePolicy)
 	if opts.VariationBudget > 0 {
 		e.tim = timing.Analyze(c, nil)
 	}
@@ -329,14 +378,18 @@ func MustNew(c *netlist.Circuit, opts Options) *Engine {
 
 // faultOutcome is one worker's result for one claimed targeting
 // position (a fault index when no ordering permutation is active). An
-// outcome with status Pending marks a fault the worker skipped because
-// the merge loop had already credited it.
+// outcome with status Pending marks a fault the worker skipped: because
+// the merge loop had already credited it (authoritative, always safe),
+// or — advisory set — because the cross-worker broadcast claimed a
+// completed sequence covers it. The merge loop re-checks advisory skips
+// and regenerates the fault inline when the claim did not hold.
 type faultOutcome struct {
 	idx      int
 	status   Status
 	seq      *TestSequence
 	detected []faults.Delay // faults the sequence additionally detects
 	valFail  int
+	advisory bool
 }
 
 // Run processes the complete delay fault universe and returns the
@@ -381,29 +434,57 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 		sum.Results[i].Fault = f
 	}
 
+	// nEff is the targeted prefix of the permutation: all of it, or the
+	// first MaxTargets positions of a budgeted run.
+	nEff := n
+	if e.opts.MaxTargets > 0 && e.opts.MaxTargets < n {
+		nEff = e.opts.MaxTargets
+	}
+
 	// status is written only by the merge loop; workers read it to skip
 	// faults that are already classified (a racy read can only cause a
 	// harmless speculative generation, never a wrong result, because the
 	// merge loop re-checks before committing).
 	status := make([]atomic.Uint32, n)
-	committed := n
-	if n > 0 {
+	committed := nEff
+	if nEff > 0 {
 		workers := e.opts.workerCount()
-		if workers > n {
-			workers = n
+		if workers > nEff {
+			workers = nEff
 		}
-		var next atomic.Int64
-		results := make(chan faultOutcome, workers)
+		var claims claimer
+		if e.opts.Steal {
+			claims = newStealClaimer(nEff, workers)
+		} else {
+			claims = newCounterClaimer(nEff)
+		}
+		var bcast *broadcast
+		if e.opts.Broadcast {
+			bcast = newBroadcast(n)
+		}
+		rs := &runState{
+			all:     all,
+			perm:    perm,
+			status:  status,
+			claims:  claims,
+			bcast:   bcast,
+			results: make(chan faultOutcome, workers),
+		}
 		var wg sync.WaitGroup
 		for i := 0; i < workers; i++ {
 			wg.Add(1)
-			go func() {
+			go func(self int) {
 				defer wg.Done()
-				e.newWorker().run(ctx, all, perm, status, &next, results)
-			}()
+				e.newWorker().run(ctx, rs, self)
+			}(i)
 		}
-		committed = e.merge(ctx, sum, perm, status, results, n)
+		committed = e.merge(ctx, sum, rs, nEff)
 		wg.Wait()
+		sum.Steals = int(claims.steals())
+		if bcast != nil {
+			sum.BroadcastSkips = int(bcast.skips.Load())
+			sum.BroadcastMisses = int(bcast.misses.Load())
+		}
 	}
 
 	for i := range all {
@@ -422,7 +503,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 		}
 	}
 	sum.Runtime = time.Since(start)
-	if committed < n {
+	if committed < nEff {
 		// Only a done context makes the merge loop stop short.
 		return sum, ctx.Err()
 	}
@@ -435,16 +516,22 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 // reorder buffer; a committed Tested outcome applies its simulation
 // credit to every still-pending fault, and an outcome for a fault that
 // an earlier commit credited is discarded, exactly reproducing the
-// serial processing order. Options.OnEvent observes every commit in that
-// order. A done context stops the loop before the next commit.
-func (e *Engine) merge(ctx context.Context, sum *Summary, perm []int, status []atomic.Uint32, results <-chan faultOutcome, n int) int {
+// serial processing order. An advisory skip (broadcast) whose fault is
+// still pending at its commit turn is a mis-speculation: the loop
+// regenerates it inline on a lazily created worker, producing bit for
+// bit the outcome the skipping worker would have — process is a pure
+// function of the fault index — so the commit chronology never deviates
+// from the broadcast-free run. Options.OnEvent observes every commit in
+// that order. A done context stops the loop before the next commit.
+func (e *Engine) merge(ctx context.Context, sum *Summary, rs *runState, n int) int {
 	emit := e.opts.OnEvent
+	var mw *worker // lazy; only advisory mis-speculations need it
 	reorder := make(map[int]faultOutcome)
 	cursor := 0
 	for cursor < n {
 		var o faultOutcome
 		select {
-		case o = <-results:
+		case o = <-rs.results:
 		case <-ctx.Done():
 			return cursor
 		}
@@ -455,12 +542,23 @@ func (e *Engine) merge(ctx context.Context, sum *Summary, perm []int, status []a
 				break
 			}
 			delete(reorder, cursor)
-			fi := cursor
-			if perm != nil {
-				fi = perm[cursor]
-			}
-			if Status(status[fi].Load()) == Pending {
-				status[fi].Store(uint32(cur.status))
+			fi := rs.faultAt(cursor)
+			if Status(rs.status[fi].Load()) == Pending {
+				if cur.advisory {
+					// The skipped fault is still pending: the sequence the
+					// broadcast promised was discarded at its own commit.
+					// Regenerate here, deterministically.
+					rs.bcast.misses.Add(1)
+					var interrupted bool
+					if mw == nil {
+						mw = e.newWorker()
+					}
+					cur, interrupted = mw.process(ctx, rs, cursor, fi, false)
+					if interrupted {
+						return cursor
+					}
+				}
+				rs.status[fi].Store(uint32(cur.status))
 				sum.ValidationFailures += cur.valFail
 				if emit != nil && cur.status != Pending {
 					emit(Event{Kind: EventFaultClassified, Index: fi, Fault: sum.Results[fi].Fault, Status: cur.status})
@@ -476,8 +574,8 @@ func (e *Engine) merge(ctx context.Context, sum *Summary, perm []int, status []a
 						emit(Event{Kind: EventSequenceGenerated, Index: fi, Fault: sum.Results[fi].Fault, Seq: cur.seq})
 					}
 					for _, f := range cur.detected {
-						if j, ok := e.index[f]; ok && Status(status[j].Load()) == Pending {
-							status[j].Store(uint32(TestedBySim))
+						if j, ok := e.index[f]; ok && Status(rs.status[j].Load()) == Pending {
+							rs.status[j].Store(uint32(TestedBySim))
 							if emit != nil {
 								emit(Event{Kind: EventCreditApplied, Index: j, Fault: f, Status: TestedBySim, By: sum.Results[fi].Fault, ByIndex: fi})
 							}
@@ -487,7 +585,14 @@ func (e *Engine) merge(ctx context.Context, sum *Summary, perm []int, status []a
 			}
 			cursor++
 			if emit != nil {
-				emit(Event{Kind: EventProgress, Done: cursor, Total: n})
+				ev := Event{Kind: EventProgress, Done: cursor, Total: n}
+				if rs.bcast != nil {
+					// Net useful skips: advisory skips minus the subset
+					// regenerated here.
+					ev.Skipped = int(rs.bcast.skips.Load() - rs.bcast.misses.Load())
+				}
+				ev.Stolen = int(rs.claims.steals())
+				emit(ev)
 			}
 		}
 	}

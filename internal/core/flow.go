@@ -17,7 +17,8 @@ import (
 // worker owns one full clone of the mutable per-fault ATPG state: its own
 // circuit view (the simulators keep scratch buffers on it), sequential
 // engine, fault simulators and X-fill RNG. Workers share only read-only
-// inputs (circuit, testability measures, timing analysis, options).
+// inputs (circuit, testability measures, timing analysis, options) and
+// the run's coordination state (runState).
 type worker struct {
 	e   *Engine
 	net *sim.Net
@@ -55,81 +56,175 @@ func faultSeed(seed int64, i int) int64 {
 	return int64(z)
 }
 
-// run claims targeting positions from the shared counter until the
-// universe is exhausted, sending exactly one outcome per claimed
-// position (perm maps positions to fault indices; nil is the identity).
-// A fault the merge loop has already credited is skipped with an empty
-// outcome; the check is advisory (a stale read costs a wasted generation
-// that the merge loop discards), so no lock is ever held.
+// runState bundles the shared coordination state of one RunContext
+// execution: the fault universe, the targeting permutation, the
+// authoritative status array (written only by the merge loop), the
+// position claimer, the optional advisory broadcast, and the outcome
+// channel into the merge loop.
+type runState struct {
+	all     []faults.Delay
+	perm    []int
+	status  []atomic.Uint32
+	claims  claimer
+	bcast   *broadcast
+	results chan faultOutcome
+}
+
+// faultAt maps a targeting position to its fault index.
+func (rs *runState) faultAt(p int) int {
+	if rs.perm != nil {
+		return rs.perm[p]
+	}
+	return p
+}
+
+// stopReason classifies why a search ended early.
+type stopReason uint8
+
+const (
+	// stopNone: the search ran to its natural conclusion.
+	stopNone stopReason = iota
+	// stopInterrupted: a done context; the outcome must not be committed.
+	stopInterrupted
+	// stopCovered: the authoritative status array classified the fault
+	// mid-search (the merge loop committed a crediting sequence); an
+	// empty outcome is safe because status never returns to Pending.
+	stopCovered
+	// stopAdvisory: the advisory broadcast claims a completed-but-not-yet
+	// committed sequence detects the fault; the merge loop re-checks and
+	// regenerates if the claim does not hold at commit time.
+	stopAdvisory
+)
+
+// run claims targeting positions from the claimer until the universe is
+// exhausted, sending exactly one outcome per claimed position. A fault
+// the merge loop has already credited is skipped with an empty outcome;
+// that check is advisory (a stale read costs a wasted generation that
+// the merge loop discards), so no lock is ever held. With the broadcast
+// enabled the worker also consults the cross-worker detected-set
+// snapshot — before starting a search and between local alternatives —
+// and skips with an advisory outcome the merge loop knows how to take
+// back (see merge).
 //
 // A done context makes the worker return without completing its claimed
 // position: the merge loop has already stopped committing, so a missing
 // outcome can never stall it, and an interrupted search never produces a
 // (possibly truncated, therefore wrong) outcome.
-func (w *worker) run(ctx context.Context, all []faults.Delay, perm []int, status []atomic.Uint32, next *atomic.Int64, results chan<- faultOutcome) {
+func (w *worker) run(ctx context.Context, rs *runState, self int) {
 	done := ctx.Done()
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		p := int(next.Add(1)) - 1
-		if p >= len(all) {
+		p, ok := rs.claims.claim(self)
+		if !ok {
 			return
 		}
-		i := p
-		if perm != nil {
-			i = perm[p]
-		}
-		if Status(status[i].Load()) != Pending {
-			select {
-			case results <- faultOutcome{idx: p}:
-			case <-done:
+		i := rs.faultAt(p)
+		o := faultOutcome{idx: p}
+		switch {
+		case Status(rs.status[i].Load()) != Pending:
+			// Already classified by the merge loop: safe empty skip.
+		case rs.bcast.hit(i):
+			rs.bcast.skips.Add(1)
+			o.advisory = true
+		default:
+			var interrupted bool
+			o, interrupted = w.process(ctx, rs, p, i, true)
+			if interrupted {
 				return
 			}
-			continue
-		}
-		w.rng = rand.New(rand.NewSource(faultSeed(w.e.opts.Seed, i)))
-		o := faultOutcome{idx: p}
-		var interrupted bool
-		o.seq, o.status, o.valFail, interrupted = w.generate(ctx, all[i])
-		// An outcome sent to the merge loop must always be the complete
-		// deterministic one — the loop may commit it even after
-		// cancellation — so a worker that noticed the done context bails
-		// out entirely rather than, say, skipping the credit sweep.
-		if interrupted || ctx.Err() != nil {
-			return
-		}
-		if o.status == Tested && !w.e.opts.DisableFaultSim {
-			// Post-generation fault simulation runs here, on the worker,
-			// so the expensive CPT and confirmation work parallelizes;
-			// only the status bookkeeping happens on the merge loop. The
-			// skip filter reads racy status snapshots purely to save
-			// work: the merge loop re-checks every detected fault. With
-			// Compact the filter is dropped so the recorded detection
-			// set is complete and independent of claim timing; that
-			// changes no credit decision, because a fault still pending
-			// at commit time was also pending at detect time and is in
-			// the filtered list either way.
-			skip := func(f faults.Delay) bool {
-				j, ok := w.e.index[f]
-				return !ok || Status(status[j].Load()) != Pending
-			}
-			if w.e.opts.Compact {
-				skip = nil
-			}
-			ff := w.fastFrame(o.seq)
-			if w.e.opts.ScalarCredit {
-				o.detected = w.td.DetectScalar(ff, skip)
-			} else {
-				o.detected = w.td.Detect(ff, skip)
+			if rs.bcast != nil && o.status == Tested {
+				// Publish the detected set before the outcome enters the
+				// reorder buffer, so other workers stop targeting these
+				// faults while the sequence waits for its commit turn.
+				for _, f := range o.detected {
+					if j, ok := w.e.index[f]; ok {
+						rs.bcast.mark(j)
+					}
+				}
 			}
 		}
 		select {
-		case results <- o:
+		case rs.results <- o:
 		case <-done:
 			return
 		}
 	}
+}
+
+// process runs the complete per-fault pipeline — seeded X-fill stream,
+// generation, post-generation credit sweep — for the fault at targeting
+// position p (fault index i) and returns the outcome, or interrupted
+// when a done context cut the search short (the outcome is then
+// meaningless and must not be sent or committed). It is deterministic in
+// (engine, fault index): the merge loop calls it to regenerate an
+// advisory skip that did not hold, and gets bit for bit the outcome the
+// skipping worker would have produced. advisory enables the mid-search
+// broadcast checks; the merge loop's regeneration disables them (it is
+// the authority the checks would consult).
+func (w *worker) process(ctx context.Context, rs *runState, p, i int, advisory bool) (faultOutcome, bool) {
+	w.rng = rand.New(rand.NewSource(faultSeed(w.e.opts.Seed, i)))
+	o := faultOutcome{idx: p}
+	var check func() stopReason
+	if advisory && w.e.opts.Broadcast {
+		check = func() stopReason {
+			if Status(rs.status[i].Load()) != Pending {
+				return stopCovered
+			}
+			if rs.bcast.hit(i) {
+				return stopAdvisory
+			}
+			return stopNone
+		}
+	}
+	var stop stopReason
+	o.seq, o.status, o.valFail, stop = w.generate(ctx, rs.all[i], check)
+	switch stop {
+	case stopInterrupted:
+		// An outcome sent to the merge loop must always be the complete
+		// deterministic one — the loop may commit it even after
+		// cancellation — so a worker that noticed the done context bails
+		// out entirely rather than, say, skipping the credit sweep.
+		return o, true
+	case stopCovered:
+		return faultOutcome{idx: p}, false
+	case stopAdvisory:
+		rs.bcast.skips.Add(1)
+		return faultOutcome{idx: p, advisory: true}, false
+	}
+	if ctx.Err() != nil {
+		return o, true
+	}
+	if o.status == Tested && !w.e.opts.DisableFaultSim {
+		// Post-generation fault simulation runs here, on the worker,
+		// so the expensive CPT and confirmation work parallelizes;
+		// only the status bookkeeping happens on the merge loop. The
+		// skip filter reads racy status snapshots purely to save
+		// work: the merge loop re-checks every detected fault. With
+		// Compact the filter is dropped so the recorded detection
+		// set is complete and independent of claim timing; that
+		// changes no credit decision, because a fault still pending
+		// at commit time was also pending at detect time and is in
+		// the filtered list either way. The advisory broadcast never
+		// enters this filter: a broadcast-covered fault whose coverer is
+		// later discarded must still appear in detection lists, or its
+		// credit would depend on claim timing.
+		skip := func(f faults.Delay) bool {
+			j, ok := w.e.index[f]
+			return !ok || Status(rs.status[j].Load()) != Pending
+		}
+		if w.e.opts.Compact {
+			skip = nil
+		}
+		ff := w.fastFrame(o.seq)
+		if w.e.opts.ScalarCredit {
+			o.detected = w.td.DetectScalar(ff, skip)
+		} else {
+			o.detected = w.td.Detect(ff, skip)
+		}
+	}
+	return o, false
 }
 
 // generate runs the extended FOGBUSTER flow (Figure 4) for one fault:
@@ -137,10 +232,12 @@ func (w *worker) run(ctx context.Context, all []faults.Delay, perm []int, status
 // register — forward propagation to a PO, then synchronization of the
 // required initial state. A failure in a sequential phase backtracks into
 // the local generator for the next distinct local test. It also returns
-// how many candidate sequences the independent validator rejected, and
-// whether a done context interrupted the search (the other return values
-// are then meaningless and must not be committed).
-func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, Status, int, bool) {
+// how many candidate sequences the independent validator rejected, and a
+// stopReason when the search ended early (the other return values are
+// then meaningless and must not be committed). check, when non-nil, is
+// consulted once per local alternative — the same granularity as
+// cancellation — and aborts the search with its verdict.
+func (w *worker) generate(ctx context.Context, f faults.Delay, check func() stopReason) (*TestSequence, Status, int, stopReason) {
 	gen := tdgen.New(w.net, f, w.e.meas, tdgen.Options{
 		Algebra:       w.e.alg,
 		MaxBacktracks: w.e.opts.LocalBacktracks,
@@ -151,16 +248,21 @@ func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, S
 	for {
 		// Checked once per local alternative: each tdgen/semilet phase is
 		// budget-bounded, so this is the promptness granularity of
-		// cancellation.
+		// cancellation and of the broadcast skip.
 		if ctx.Err() != nil {
-			return nil, Pending, valFail, true
+			return nil, Pending, valFail, stopInterrupted
+		}
+		if check != nil {
+			if r := check(); r != stopNone {
+				return nil, Pending, valFail, r
+			}
 		}
 		sol, st := gen.Next()
 		switch st {
 		case tdgen.Untestable:
-			return nil, Untestable, valFail, false
+			return nil, Untestable, valFail, stopNone
 		case tdgen.Aborted:
-			return nil, Aborted, valFail, false
+			return nil, Aborted, valFail, stopNone
 		}
 
 		seq := &TestSequence{
@@ -176,7 +278,7 @@ func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, S
 		if sol.ObservePO < 0 {
 			prop, pst := w.sem.Propagate(w.handoff(sol), budget)
 			if pst == semilet.Aborted {
-				return nil, Aborted, valFail, false
+				return nil, Aborted, valFail, stopNone
 			}
 			if pst != semilet.Success {
 				continue // backtrack into the local generator
@@ -189,7 +291,7 @@ func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, S
 		// state of the local test.
 		sync, sst := w.sem.SynchronizeWith(sol.State0, budget, !w.e.opts.StrictInit)
 		if sst == semilet.Aborted {
-			return nil, Aborted, valFail, false
+			return nil, Aborted, valFail, stopNone
 		}
 		if sst != semilet.Success {
 			continue
@@ -201,7 +303,7 @@ func (w *worker) generate(ctx context.Context, f faults.Delay) (*TestSequence, S
 			valFail++
 			continue
 		}
-		return seq, Tested, valFail, false
+		return seq, Tested, valFail, stopNone
 	}
 }
 

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/netlist"
+)
+
+// coneProfiles is the randomized circuit set of the representation
+// property tests: every structural style the synthesizer knows, at sizes
+// where cones exercise both the dense and the interval representation.
+func coneProfiles(t *testing.T) []*netlist.Circuit {
+	t.Helper()
+	out := []*netlist.Circuit{bench.NewS27(), bench.NewC17()}
+	for i, p := range []bench.Profile{
+		{Name: "prop-mixed", PIs: 7, POs: 4, FFs: 6, Gates: 90, TargetLines: 210, Style: bench.Mixed, Seed: 101},
+		{Name: "prop-feedback", PIs: 5, POs: 2, FFs: 8, Gates: 110, TargetLines: 220, Style: bench.Feedback, Seed: 202},
+		{Name: "prop-pipeline", PIs: 9, POs: 6, FFs: 7, Gates: 140, TargetLines: 300, Style: bench.Pipeline, Seed: 303},
+	} {
+		c, err := bench.Synthesize(p)
+		if err != nil {
+			t.Fatalf("profile %d (%s): %v", i, p.Name, err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestConeSetRepresentationProperty is the compressed-set oracle check:
+// for every stem of every randomized circuit, the forced-compressed and
+// the auto policies answer InCone (over the complete node universe) and
+// ConeGates identically to the forced-dense reference — the
+// representation is an encoding detail, never a semantic one.
+func TestConeSetRepresentationProperty(t *testing.T) {
+	for _, c := range coneProfiles(t) {
+		dense := NewTopology(c)
+		dense.SetConePolicy(ConeDense)
+		comp := NewTopology(c)
+		comp.SetConePolicy(ConeCompressed)
+		auto := NewTopology(c)
+		auto.SetConePolicy(ConeAuto)
+		n := dense.NumNodes()
+		for src := 0; src < n; src++ {
+			s := netlist.NodeID(src)
+			if dg, cg, ag := dense.ConeGates(s), comp.ConeGates(s), auto.ConeGates(s); dg != cg || dg != ag {
+				t.Fatalf("%s: ConeGates(%d) dense=%d compressed=%d auto=%d", c.Name, src, dg, cg, ag)
+			}
+			for id := 0; id < n; id++ {
+				d := dense.InCone(s, netlist.NodeID(id))
+				if got := comp.InCone(s, netlist.NodeID(id)); got != d {
+					t.Fatalf("%s: compressed InCone(%d,%d)=%v, dense says %v", c.Name, src, id, got, d)
+				}
+				if got := auto.InCone(s, netlist.NodeID(id)); got != d {
+					t.Fatalf("%s: auto InCone(%d,%d)=%v, dense says %v", c.Name, src, id, got, d)
+				}
+			}
+		}
+	}
+}
+
+// TestConeFootprintShrinks pins the memory-diet direction: under the
+// auto policy the total cone-set footprint never exceeds the dense
+// all-stems matrix, and the dense policy reproduces that matrix's size
+// exactly.
+func TestConeFootprintShrinks(t *testing.T) {
+	for _, c := range coneProfiles(t) {
+		auto := NewTopology(c)
+		denseBytes, actual := auto.ConeFootprint()
+		if actual > denseBytes {
+			t.Errorf("%s: auto footprint %d exceeds dense %d", c.Name, actual, denseBytes)
+		}
+		ref := NewTopology(c)
+		ref.SetConePolicy(ConeDense)
+		if _, got := ref.ConeFootprint(); got != denseBytes {
+			t.Errorf("%s: dense policy footprint %d, matrix would be %d", c.Name, got, denseBytes)
+		}
+	}
+}
+
+// TestConePolicyParse pins the knob surface: the three names round-trip
+// and junk is an error, so a config cannot silently run the wrong
+// representation.
+func TestConePolicyParse(t *testing.T) {
+	for _, p := range []ConePolicy{ConeAuto, ConeDense, ConeCompressed} {
+		got, err := ParseConePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseConePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := ParseConePolicy(""); err != nil || got != ConeAuto {
+		t.Errorf("empty policy = %v, %v; want auto", got, err)
+	}
+	if _, err := ParseConePolicy("roaring"); err == nil {
+		t.Error("ParseConePolicy accepted an unknown policy")
+	}
+}

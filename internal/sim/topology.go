@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fogbuster/internal/netlist"
 )
@@ -48,10 +49,14 @@ type Topology struct {
 	MaxFanin int
 	MaxLevel int32
 
-	coneOnce  sync.Once
-	coneWords int
-	cone      []Word  // coneWords words per node, bit = node membership
-	coneGates []int32 // gates per cone (the event-kernel work bound)
+	// Cone membership is built lazily per stem (see coneset.go): one
+	// published set per node, dense or interval-compressed under
+	// conePolicy. Nothing here costs memory until InCone/ConeGates is
+	// asked.
+	conePolicy  ConePolicy
+	coneOnce    sync.Once
+	coneSets    []atomic.Pointer[coneSet]
+	coneScratch *sync.Pool
 }
 
 // NewTopology builds the simulation view of the circuit. Construction is
@@ -155,57 +160,4 @@ func (t *Topology) lineEdge(l netlist.Line) int {
 		return -1
 	}
 	return int(t.FanoutEdge[t.FanoutOff[l.Node]+int32(l.Branch)])
-}
-
-// buildCones computes, for every node, the membership bitset of its
-// fanout cone: the node itself plus every combinational gate whose value
-// can depend on the node's stem. Flip-flop consumers do not extend a
-// cone — the frame boundary stops the event wave, exactly as it stops
-// the levelized evaluation. One reverse-topological sweep OR-folds each
-// gate's cone into its drivers'.
-func (t *Topology) buildCones() {
-	n := t.NumNodes()
-	t.coneWords = (n + 63) / 64
-	t.cone = make([]Word, n*t.coneWords)
-	for i := 0; i < n; i++ {
-		t.cone[i*t.coneWords+i/64] |= 1 << uint(i%64)
-	}
-	for i := len(t.Order) - 1; i >= 0; i-- {
-		g := int(t.Order[i])
-		src := t.cone[g*t.coneWords : (g+1)*t.coneWords]
-		for e := t.FaninOff[g]; e < t.FaninOff[g+1]; e++ {
-			in := int(t.Fanin[e])
-			dst := t.cone[in*t.coneWords : (in+1)*t.coneWords]
-			for w := range dst {
-				dst[w] |= src[w]
-			}
-		}
-	}
-	t.coneGates = make([]int32, n)
-	for i := 0; i < n; i++ {
-		count := int32(0)
-		row := t.cone[i*t.coneWords : (i+1)*t.coneWords]
-		for _, g := range t.Order {
-			if row[int(g)/64]&(1<<uint(int(g)%64)) != 0 {
-				count++
-			}
-		}
-		t.coneGates[i] = count
-	}
-}
-
-// InCone reports whether node id lies in the fanout cone of src (src
-// itself included). The bitsets are built on first use and shared.
-func (t *Topology) InCone(src, id netlist.NodeID) bool {
-	t.coneOnce.Do(t.buildCones)
-	return t.cone[int(src)*t.coneWords+int(id)/64]&(1<<uint(int(id)%64)) != 0
-}
-
-// ConeGates returns the number of combinational gates in the fanout cone
-// of node id's stem — the work bound of one event-driven re-evaluation
-// seeded there, and the quantity whose distribution (against the total
-// gate count) predicts the selective-trace speedup.
-func (t *Topology) ConeGates(id netlist.NodeID) int {
-	t.coneOnce.Do(t.buildCones)
-	return int(t.coneGates[id])
 }

@@ -105,6 +105,22 @@ func (c *Circuit) ConeSizes() (lo, med, hi int) {
 	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
 }
 
+// ConeMemory reports the cone-set memory footprint of the circuit under
+// a representation policy ("", "auto", "dense" or "compressed"): the
+// bytes the dense all-stems matrix would occupy (the pre-compression
+// representation, O(nodes²/8)) next to the bytes the policy actually
+// holds once every stem's set is built. Unknown policies are errors.
+func (c *Circuit) ConeMemory(policy string) (dense, actual int64, err error) {
+	p, err := sim.ParseConePolicy(policy)
+	if err != nil {
+		return 0, 0, fmt.Errorf("atpg: %v", err)
+	}
+	t := sim.NewTopology(c.c)
+	t.SetConePolicy(p)
+	dense, actual = t.ConeFootprint()
+	return dense, actual, nil
+}
+
 // PaperRow is one row of the paper's Table 3, for comparison against a
 // fresh run of the matching benchmark.
 type PaperRow struct {
@@ -144,10 +160,26 @@ func Benchmarks() []BenchmarkInfo {
 	return out
 }
 
+// LargeBenchmarks lists the built-in industrial-scale benchmarks beyond
+// the paper's Table 3 (the two biggest ISCAS'89 machines, reconstructed
+// with the same calibrated synthesizer). The paper never ran them, so
+// BenchmarkInfo.Paper is zero; they exist for the scale-out machinery:
+// compressed cone sets, the broadcast and stealing knobs, and budgeted
+// runs via Config.MaxTargets. Benchmarks() deliberately excludes them —
+// the Table 3 experiment set stays what the paper measured.
+func LargeBenchmarks() []BenchmarkInfo {
+	out := make([]BenchmarkInfo, 0, len(bench.LargeProfiles))
+	for _, p := range bench.LargeProfiles {
+		out = append(out, BenchmarkInfo{Name: p.Name, Exact: p.Exact})
+	}
+	return out
+}
+
 // Benchmark returns a built-in circuit by name: any Table 3 benchmark
-// (see Benchmarks), the combinational "c17", or the parameterized
-// didactic families "rca<N>" (N-bit ripple-carry adder) and "shift<N>"
-// (N-bit shift register). Unknown names are errors.
+// (see Benchmarks), any industrial-scale benchmark (see LargeBenchmarks),
+// the combinational "c17", or the parameterized didactic families
+// "rca<N>" (N-bit ripple-carry adder) and "shift<N>" (N-bit shift
+// register). Unknown names are errors.
 func Benchmark(name string) (*Circuit, error) {
 	switch {
 	case name == "c17":
@@ -165,14 +197,12 @@ func Benchmark(name string) (*Circuit, error) {
 		}
 		return &Circuit{c: bench.ShiftRegister(bits)}, nil
 	}
-	for _, p := range bench.Profiles {
-		if p.Name == name {
-			c, err := bench.Synthesize(p)
-			if err != nil {
-				return nil, fmt.Errorf("atpg: %w", err)
-			}
-			return &Circuit{c: c}, nil
+	if p := bench.ProfileByName(name); p != nil {
+		c, err := bench.Synthesize(*p)
+		if err != nil {
+			return nil, fmt.Errorf("atpg: %w", err)
 		}
+		return &Circuit{c: c}, nil
 	}
 	return nil, fmt.Errorf("atpg: unknown benchmark %q", name)
 }

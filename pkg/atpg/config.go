@@ -6,7 +6,22 @@ import (
 	"fogbuster/internal/core"
 	"fogbuster/internal/logic"
 	"fogbuster/internal/order"
+	"fogbuster/internal/sim"
 )
+
+// Cone-set policy names accepted by Config.ConeSets.
+const (
+	// ConeSetsAuto picks the cheaper representation per stem (the empty
+	// string means auto).
+	ConeSetsAuto = "auto"
+	// ConeSetsDense forces dense bitsets, the pre-compression oracle.
+	ConeSetsDense = "dense"
+	// ConeSetsCompressed forces interval lists for every stem.
+	ConeSetsCompressed = "compressed"
+)
+
+// ConeSetPolicies lists every recognized cone-set policy, auto first.
+func ConeSetPolicies() []string { return []string{ConeSetsAuto, ConeSetsDense, ConeSetsCompressed} }
 
 // Algebra names accepted by Config.Algebra.
 const (
@@ -85,6 +100,27 @@ type Config struct {
 	// (reverse-order drop + overlap splicing); the statistics land in
 	// Result.Compaction. A cancelled run is never compacted.
 	Compact bool `json:"compact,omitempty"`
+	// Broadcast enables the cross-worker detected-set broadcast: workers
+	// skip faults a completed (not yet committed) sequence already
+	// covers. Pure scheduling — the Result is bit-identical with the knob
+	// on or off, at every worker count; only Runtime and the progress
+	// events' Skipped counter change.
+	Broadcast bool `json:"broadcast,omitempty"`
+	// Steal replaces the shared claim counter with per-worker striped
+	// position ranges plus work stealing. Pure scheduling, like
+	// Broadcast: results never change.
+	Steal bool `json:"steal,omitempty"`
+	// ConeSets selects the representation of the per-stem cone membership
+	// sets: "", "auto", "dense" or "compressed". Purely a memory/speed
+	// trade; results never depend on it. Compressed or auto is what makes
+	// >10k-gate circuits practical (the dense all-stems matrix is
+	// O(nodes²/8) bytes).
+	ConeSets string `json:"cone_sets,omitempty"`
+	// MaxTargets, when positive, budgets the run to the first MaxTargets
+	// positions of the targeting order; every later fault stays pending
+	// unless an in-budget sequence credits it. The processed prefix is
+	// bit-identical to the same prefix of an unbudgeted run.
+	MaxTargets int `json:"max_targets,omitempty"`
 }
 
 // Validate reports the first invalid field: an unknown algebra or order
@@ -106,6 +142,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: negative max_frames %d", c.MaxFrames)
 	case c.VariationBudget < 0:
 		return fmt.Errorf("atpg: negative variation_budget %d", c.VariationBudget)
+	case c.MaxTargets < 0:
+		return fmt.Errorf("atpg: negative max_targets %d", c.MaxTargets)
+	}
+	if _, err := sim.ParseConePolicy(c.ConeSets); err != nil {
+		return fmt.Errorf("atpg: %v", err)
 	}
 	return nil
 }
@@ -146,5 +187,9 @@ func (c Config) engineOptions() (core.Options, error) {
 		ScalarCredit:      c.ScalarCredit,
 		FullEval:          c.FullEval,
 		Compact:           c.Compact,
+		Broadcast:         c.Broadcast,
+		Steal:             c.Steal,
+		ConeSets:          c.ConeSets,
+		MaxTargets:        c.MaxTargets,
 	}, nil
 }

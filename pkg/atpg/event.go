@@ -43,15 +43,24 @@ type Event struct {
 	// credit (EventCreditApplied only).
 	By string `json:"by,omitempty"`
 	// Done and Total carry the commit progress (EventProgress only).
+	// Total is the number of targeting positions the run will process —
+	// the whole fault universe, or Config.MaxTargets on a budgeted run.
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
+	// Skipped and Stolen carry the scale-out scheduling counters at this
+	// commit (EventProgress only): net advisory broadcast skips and range
+	// steals. They are the stream's only scheduling-dependent values and
+	// stay zero unless Config.Broadcast / Config.Steal is set, so the
+	// stream remains fully deterministic with the knobs off.
+	Skipped int `json:"skipped,omitempty"`
+	Stolen  int `json:"stolen,omitempty"`
 }
 
 // eventOf converts an engine event, resolving names against the circuit.
 func eventOf(c *netlist.Circuit, ev core.Event) Event {
 	switch ev.Kind {
 	case core.EventProgress:
-		return Event{Kind: EventProgress, Done: ev.Done, Total: ev.Total}
+		return Event{Kind: EventProgress, Done: ev.Done, Total: ev.Total, Skipped: ev.Skipped, Stolen: ev.Stolen}
 	case core.EventSequenceGenerated:
 		return Event{Kind: EventSequenceGenerated, Fault: ev.Fault.Name(c), Seq: sequenceOf(c, ev.Seq)}
 	case core.EventCreditApplied:

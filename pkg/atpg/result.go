@@ -158,6 +158,14 @@ type Result struct {
 	// ValidationFailures counts generated sequences the independent
 	// checker rejected; it must be zero and exists as a self-check.
 	ValidationFailures int `json:"validation_failures,omitempty"`
+	// BroadcastSkips, BroadcastMisses and Steals are the scale-out
+	// scheduling counters (Config.Broadcast, Config.Steal). Like Runtime
+	// they vary run to run, but unlike Runtime they are excluded from the
+	// canonical JSON entirely: the encoding stays bit-identical whatever
+	// the scheduling did.
+	BroadcastSkips  int `json:"-"`
+	BroadcastMisses int `json:"-"`
+	Steals          int `json:"-"`
 	// Faults is the per-fault classification in the canonical fault
 	// order of the circuit.
 	Faults []FaultResult `json:"faults"`
@@ -320,6 +328,9 @@ func resultOf(c *netlist.Circuit, cfg Config, sum *core.Summary, runErr error) *
 		Patterns:           sum.Patterns,
 		Runtime:            sum.Runtime,
 		ValidationFailures: sum.ValidationFailures,
+		BroadcastSkips:     sum.BroadcastSkips,
+		BroadcastMisses:    sum.BroadcastMisses,
+		Steals:             sum.Steals,
 		Faults:             make([]FaultResult, len(sum.Results)),
 		Err:                runErr,
 	}

@@ -1,0 +1,157 @@
+package atpg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleOutFacadeInvariance pins the tentpole contract through the
+// public API: the canonical Result JSON with the broadcast and stealing
+// knobs on — separately, combined, and combined with compressed cone
+// sets — is byte-identical to the stock serial run at workers 1, 4 and
+// 16. The knobs are pure scheduling; the wire format consumers read
+// cannot tell they were ever on.
+func TestScaleOutFacadeInvariance(t *testing.T) {
+	c := mustBenchmark(t, "s298")
+	base := canonicalBytes(t, mustRunTest(t, c, Config{Workers: -1}))
+	workerCounts := []int{1, 4, 16}
+	if testing.Short() {
+		// The race job runs with -short: keep the 16-worker stress,
+		// trim the sweep.
+		workerCounts = []int{16}
+	}
+	for _, workers := range workerCounts {
+		for _, cfg := range []Config{
+			{Workers: workers, Broadcast: true},
+			{Workers: workers, Steal: true},
+			{Workers: workers, Broadcast: true, Steal: true},
+			{Workers: workers, Broadcast: true, Steal: true, ConeSets: ConeSetsCompressed},
+		} {
+			got := canonicalBytes(t, mustRunTest(t, c, cfg))
+			if got != base {
+				t.Errorf("workers=%d broadcast=%v steal=%v cone_sets=%q: canonical JSON diverged from the stock serial run",
+					workers, cfg.Broadcast, cfg.Steal, cfg.ConeSets)
+			}
+		}
+	}
+}
+
+// TestMaxTargetsFacade pins the budgeted-run surface: Config.MaxTargets
+// leaves faults pending, the canonical JSON of the budgeted run is
+// worker-count and knob invariant, and the budget composes with
+// broadcast and stealing.
+func TestMaxTargetsFacade(t *testing.T) {
+	c := mustBenchmark(t, "s298")
+	k := c.Faults() / 4
+	base := mustRunTest(t, c, Config{Workers: -1, MaxTargets: k})
+	if base.Pending == 0 {
+		t.Fatalf("MaxTargets=%d of %d faults left nothing pending", k, c.Faults())
+	}
+	if base.Err != nil {
+		t.Fatalf("budgeted run reported error %v; a budget is not a cancellation", base.Err)
+	}
+	want := canonicalBytes(t, base)
+	for _, workers := range []int{4, 16} {
+		got := canonicalBytes(t, mustRunTest(t, c, Config{Workers: workers, MaxTargets: k, Broadcast: true, Steal: true}))
+		if got != want {
+			t.Errorf("workers=%d: budgeted canonical JSON diverged from the serial budgeted run", workers)
+		}
+	}
+}
+
+// TestScaleOutConfigValidation pins the knob surface's error paths:
+// unknown cone-set policies and negative budgets are construction
+// errors, never silent fallbacks.
+func TestScaleOutConfigValidation(t *testing.T) {
+	c := mustBenchmark(t, "s27")
+	if _, err := New(c, Config{ConeSets: "roaring"}); err == nil || !strings.Contains(err.Error(), "cone-set") {
+		t.Errorf("ConeSets=roaring: err = %v, want a cone-set policy error", err)
+	}
+	if _, err := New(c, Config{MaxTargets: -1}); err == nil || !strings.Contains(err.Error(), "max_targets") {
+		t.Errorf("MaxTargets=-1: err = %v, want a max_targets error", err)
+	}
+	for _, p := range ConeSetPolicies() {
+		if _, err := New(c, Config{ConeSets: p}); err != nil {
+			t.Errorf("ConeSets=%q rejected: %v", p, err)
+		}
+	}
+}
+
+// TestLargeBenchmarkSurface pins the industrial-scale circuit surface:
+// the large set resolves through Benchmark, stays out of Benchmarks()
+// (the Table 3 experiment set), matches its calibrated fault universe,
+// and its compressed cone sets undercut the dense matrix by an order of
+// magnitude — the property that makes these circuits runnable at all.
+func TestLargeBenchmarkSurface(t *testing.T) {
+	large := LargeBenchmarks()
+	if len(large) != 2 || large[0].Name != "s15850" || large[1].Name != "s38584" {
+		t.Fatalf("LargeBenchmarks() = %+v", large)
+	}
+	for _, b := range Benchmarks() {
+		if b.Name == "s15850" || b.Name == "s38584" {
+			t.Errorf("Benchmarks() leaked large circuit %s into the Table 3 set", b.Name)
+		}
+	}
+	c := mustBenchmark(t, "s15850")
+	if got, want := c.Faults(), 2*15850; got != want {
+		t.Errorf("s15850 faults = %d, want %d", got, want)
+	}
+	dense, auto, err := c.ConeMemory(ConeSetsAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto*10 > dense {
+		t.Errorf("auto cone sets use %d of %d dense bytes; expected <10%% on s15850", auto, dense)
+	}
+	if _, _, err := c.ConeMemory("junk"); err == nil {
+		t.Error("ConeMemory accepted an unknown policy")
+	}
+}
+
+// TestProgressCountersSurface pins the event plumbing: with the knobs
+// off every progress event carries zero Skipped/Stolen (the stream stays
+// deterministic); with broadcast+steal on at 16 workers the final
+// progress event's counters agree with the run's Result counters.
+func TestProgressCountersSurface(t *testing.T) {
+	c := mustBenchmark(t, "s27")
+
+	ses, err := New(c, Config{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Event
+	ses.OnEvent(func(ev Event) {
+		if ev.Kind == EventProgress {
+			if ev.Skipped != 0 || ev.Stolen != 0 {
+				t.Errorf("stock run progress carried skipped=%d stolen=%d", ev.Skipped, ev.Stolen)
+			}
+			last = ev
+		}
+	})
+	if _, err := ses.Run(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if last.Done != last.Total || last.Total == 0 {
+		t.Fatalf("final progress %d/%d", last.Done, last.Total)
+	}
+
+	ses, err = New(c, Config{Workers: 16, Broadcast: true, Steal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses.OnEvent(func(ev Event) {
+		if ev.Kind == EventProgress {
+			last = ev
+		}
+	})
+	res, err := ses.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.BroadcastSkips - res.BroadcastMisses; last.Skipped != want {
+		t.Errorf("final progress skipped=%d, result says %d-%d", last.Skipped, res.BroadcastSkips, res.BroadcastMisses)
+	}
+	if last.Stolen != res.Steals {
+		t.Errorf("final progress stolen=%d, result says %d", last.Stolen, res.Steals)
+	}
+}
