@@ -1,0 +1,120 @@
+// Atpgd serves the ATPG engine over HTTP: clients POST jobs (a built-in
+// benchmark name or an uploaded .bench netlist plus a run
+// configuration), stream committed progress live over SSE, and fetch
+// canonical atpg.Result JSON documents that are byte-identical for
+// identical submissions. The daemon is a thin shell over
+// internal/service, which owns the multi-tenant scheduler and the
+// content-hash caches; see DESIGN.md §10 for the architecture and the
+// README for a curl quickstart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fogbuster/internal/service"
+)
+
+// config is the parsed command line, kept separate from main so tests
+// can pin that every flag reaches the service options.
+type config struct {
+	addr string
+	opts service.Options
+}
+
+// parseArgs parses the command line. Errors (including -h) are reported
+// on stderr; the caller only needs the exit code.
+func parseArgs(argv []string, stderr io.Writer) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("atpgd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.addr, "addr", "localhost:8347", "listen address (use :0 for an ephemeral port; the bound address is printed on startup)")
+	fs.IntVar(&cfg.opts.MaxRunningJobs, "max-running", 0, "jobs executing concurrently (0 = service default)")
+	fs.IntVar(&cfg.opts.MaxQueue, "max-queue", 0, "bound on the pending-job queue; submissions beyond it get 503 (0 = service default)")
+	fs.IntVar(&cfg.opts.MaxWorkersPerJob, "max-workers", 0, "per-job clamp on Config.Workers (0 = all CPUs)")
+	fs.DurationVar(&cfg.opts.DefaultTimeout, "default-timeout", 0, "per-job deadline when the request omits one (0 = service default, 5m)")
+	fs.DurationVar(&cfg.opts.MaxTimeout, "max-timeout", 0, "cap on requested per-job deadlines (0 = service default, 30m)")
+	fs.Int64Var(&cfg.opts.MaxUploadBytes, "max-upload", 0, "bound on the request body in bytes, netlist included (0 = service default, 16MiB)")
+	fs.IntVar(&cfg.opts.MaxJobs, "max-jobs", 0, "finished jobs retained for status/result reads (0 = service default)")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: atpgd [flags]")
+		fs.PrintDefaults()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// daemon is a bound, ready-to-serve instance. Binding is split from
+// serving so tests (and scripts watching stdout) can learn the actual
+// address of an ephemeral-port listener before any request is made.
+type daemon struct {
+	svc *service.Server
+	srv *http.Server
+	ln  net.Listener
+}
+
+// listen binds the address and builds the service.
+func (cfg *config) listen() (*daemon, error) {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	svc := service.New(cfg.opts)
+	return &daemon{svc: svc, srv: &http.Server{Handler: svc.Handler()}, ln: ln}, nil
+}
+
+// addr is the bound listen address ("127.0.0.1:43210" for :0 binds).
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// run serves until ctx is cancelled, then shuts down gracefully:
+// in-flight HTTP exchanges get a drain window, and the service cancels
+// every live job (queued jobs finish as cancelled without running).
+func (d *daemon) run(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() { errc <- d.srv.Serve(d.ln) }()
+	select {
+	case err := <-errc:
+		d.svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(shCtx)
+	d.svc.Close()
+	return err
+}
+
+func main() {
+	cfg, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	d, err := cfg.listen()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atpgd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("atpgd: listening on http://%s\n", d.addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "atpgd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fogbuster/pkg/atpg"
+)
+
+// TestFlagsReachService pins that the tuning flags land in the service
+// options.
+func TestFlagsReachService(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{
+		"-addr", ":0", "-max-running", "3", "-max-queue", "7",
+		"-max-workers", "2", "-default-timeout", "90s", "-max-timeout", "10m",
+		"-max-upload", "1024", "-max-jobs", "11",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	o := cfg.opts
+	if cfg.addr != ":0" || o.MaxRunningJobs != 3 || o.MaxQueue != 7 ||
+		o.MaxWorkersPerJob != 2 || o.DefaultTimeout != 90*time.Second ||
+		o.MaxTimeout != 10*time.Minute || o.MaxUploadBytes != 1024 || o.MaxJobs != 11 {
+		t.Fatalf("flags lost: %+v", cfg)
+	}
+	if _, err := parseArgs([]string{"stray"}, &stderr); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+// TestDaemonServesJobLifecycle boots the daemon on an ephemeral port
+// and walks the full client flow — submit, poll, result — then shuts it
+// down gracefully.
+func TestDaemonServesJobLifecycle(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-addr", "127.0.0.1:0", "-max-workers", "2"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx) }()
+	base := "http://" + d.addr()
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+
+	body := `{"benchmark": "s27", "config": {"workers": 1}}`
+	sub, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(sub.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sub.Body.Close()
+	if sub.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: %d %+v", sub.StatusCode, st)
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	rr, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res atpg.Result
+	if err := json.NewDecoder(rr.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if res.Circuit != "s27" || res.Classified() != len(res.Faults) {
+		t.Fatalf("result incoherent: %+v", res)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}

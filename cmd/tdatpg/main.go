@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"fogbuster/pkg/atpg"
 )
@@ -41,6 +42,7 @@ type config struct {
 	steal     bool
 	coneSets  string
 	maxTarg   int
+	timeout   time.Duration
 	cpuProf   string
 	memProf   string
 	order     string
@@ -76,6 +78,7 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.steal, "steal", false, "work-stealing claim ranges instead of the shared counter (pure scheduling; results are identical)")
 	fs.StringVar(&cfg.coneSets, "conesets", "auto", "cone-set representation: auto, dense or compressed (memory/speed trade; results are identical)")
 	fs.IntVar(&cfg.maxTarg, "maxtargets", 0, "budget the run to the first N targeting positions (0 = the whole universe)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock deadline for the run (e.g. 30s, 5m; 0 = none); an expired run still writes the committed-prefix partial result and exits 3")
 	fs.StringVar(&cfg.order, "order", "natural", "fault-targeting order: natural, topo, scoap or adi")
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -223,10 +226,16 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 		close(ticker)
 	}
 
-	res, err := ses.Run(context.Background())
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	res, err := ses.Run(ctx)
 	stopProf()
 	<-ticker
-	if err != nil {
+	if err != nil && res == nil {
 		return fail(err)
 	}
 
@@ -267,6 +276,15 @@ func run(cfg *config, stdout, stderr io.Writer) int {
 				printSeq(stdout, r.Seq)
 			}
 		}
+	}
+	if res.Err != nil {
+		// The deadline (or an interrupt) truncated the run: everything
+		// above reported the coherent committed prefix — bit-identical to
+		// the same prefix of an unbounded run — and the distinct exit code
+		// lets scripts tell "partial" from "failed".
+		fmt.Fprintf(stderr, "tdatpg: run stopped early (%v): %d of %d faults classified, %d pending\n",
+			res.Err, res.Classified(), len(res.Faults), res.Pending)
+		return 3
 	}
 	return 0
 }

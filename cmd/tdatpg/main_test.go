@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -176,5 +177,54 @@ func TestProgressTicker(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "faults") || !strings.Contains(stderr.String(), "/") {
 		t.Fatalf("no ticker on stderr: %q", stderr.String())
+	}
+}
+
+// TestTimeoutFlagYieldsPartialResult pins the -timeout satellite: an
+// already-expired deadline still writes the JSON document — a coherent
+// committed-prefix partial carrying the deadline sentinel — and the run
+// exits with the distinct "partial" code 3.
+func TestTimeoutFlagYieldsPartialResult(t *testing.T) {
+	bench := writeBench(t)
+	out := filepath.Join(t.TempDir(), "partial.json")
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"-timeout", "1ns", "-json", out, bench}, &stderr)
+	if err != nil {
+		t.Fatalf("parseArgs: %v (stderr: %s)", err, stderr.String())
+	}
+	var stdout bytes.Buffer
+	if code := run(cfg, &stdout, &stderr); code != 3 {
+		t.Fatalf("run = %d, want 3 (partial); stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res atpg.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("partial JSON does not decode: %v", err)
+	}
+	if res.Err != context.DeadlineExceeded {
+		t.Fatalf("partial result Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if res.Classified()+res.Pending != len(res.Faults) {
+		t.Fatalf("partial incoherent: %d classified + %d pending != %d faults",
+			res.Classified(), res.Pending, len(res.Faults))
+	}
+	if !strings.Contains(stderr.String(), "stopped early") {
+		t.Fatalf("no partial note on stderr: %q", stderr.String())
+	}
+}
+
+// TestTimeoutFlagDefaultsOff: without -timeout the run is unbounded and
+// completes with exit 0.
+func TestTimeoutFlagDefaultsOff(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseArgs([]string{"circuit.bench"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.timeout != 0 {
+		t.Fatalf("default timeout = %v, want 0", cfg.timeout)
 	}
 }

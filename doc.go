@@ -25,7 +25,12 @@
 // fanout cones of changed sources, bit-identical by contract
 // (core.Options.FullEval forces the full walks as the reference
 // oracle). Command line tools live under cmd/ and runnable examples
-// under examples/, all consuming pkg/atpg exclusively. The benchmarks
+// under examples/, all consuming pkg/atpg exclusively — with one
+// sanctioned exception: cmd/atpgd, the ATPG-as-a-service daemon, is a
+// thin shell over internal/service (multi-tenant job scheduler,
+// content-hash circuit/result caches, HTTP + SSE handlers; DESIGN.md
+// §10), which itself consumes the engine only through pkg/atpg. The
+// benchmarks
 // in bench_test.go regenerate every table and figure of the paper's
 // evaluation; EXPERIMENTS.md records the measured results against the
 // paper's.

@@ -10,38 +10,74 @@ import (
 	"testing"
 )
 
+// walkImports parses every .go file under root and reports each import
+// path to visit as (file, import).
+func walkImports(t *testing.T, root string, visit func(path, imp string)) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			val, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			visit(path, val)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPublicConsumersNeverImportInternal guards the API boundary: every
 // package under cmd/ and examples/ (tests included) must consume the
 // engine exclusively through fogbuster/pkg/atpg — no direct import of
 // anything under fogbuster/internal/. This is the compile-time face of
 // the stability contract in DESIGN.md §8; CI runs the same check via
 // `go list` so the guard cannot rot with the test tags.
+//
+// One deliberate exemption: cmd/atpgd is the thin shell over
+// internal/service (the daemon's scheduler/cache/HTTP layer, which is
+// not public API precisely because its options and wire helpers may
+// still move). That edge is allowed; service itself is held to the
+// same pkg/atpg-only rule by the test below, so the engine boundary is
+// unchanged — atpgd reaches the engine through service through pkg/atpg.
 func TestPublicConsumersNeverImportInternal(t *testing.T) {
 	for _, root := range []string{"cmd", "examples"} {
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
+		walkImports(t, root, func(path, val string) {
+			if !strings.HasPrefix(val, "fogbuster/internal/") {
+				return
 			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return nil
+			if val == "fogbuster/internal/service" && strings.HasPrefix(filepath.ToSlash(path), "cmd/atpgd/") {
+				return
 			}
-			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, imp := range f.Imports {
-				val, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					return err
-				}
-				if strings.HasPrefix(val, "fogbuster/internal/") {
-					t.Errorf("%s imports %s; public consumers must use fogbuster/pkg/atpg only", path, val)
-				}
-			}
-			return nil
+			t.Errorf("%s imports %s; public consumers must use fogbuster/pkg/atpg only", path, val)
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
 	}
+}
+
+// TestServiceConsumesPublicAPIOnly holds internal/service to the same
+// contract as external consumers: among module packages it may import
+// only fogbuster/pkg/atpg. The service is the reference multi-tenant
+// harness around the engine — if it needed private hooks, the public
+// API would be lying about being sufficient.
+func TestServiceConsumesPublicAPIOnly(t *testing.T) {
+	walkImports(t, filepath.Join("internal", "service"), func(path, val string) {
+		if !strings.HasPrefix(val, "fogbuster/") {
+			return
+		}
+		if val != "fogbuster/pkg/atpg" {
+			t.Errorf("%s imports %s; internal/service must consume the engine through fogbuster/pkg/atpg only", path, val)
+		}
+	})
 }

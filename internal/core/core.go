@@ -183,6 +183,16 @@ type Options struct {
 	// back into the engine; it never changes the Summary — the stream is
 	// pure observation of the commits.
 	OnEvent func(Event)
+	// Topology, when non-nil, is a prebuilt simulation topology for the
+	// circuit, letting many engines over the same circuit share one CSR
+	// view and its lazily built cone sets instead of re-levelizing per
+	// run (the Topology is immutable once built and already shared by
+	// all workers of a run). It must have been built from the same
+	// *netlist.Circuit handed to New; New rejects a mismatch. The cone
+	// policy of a shared topology is fixed by its first user —
+	// SetConePolicy is a no-op once cone sets exist — which never
+	// changes results (the policy is purely a memory/speed trade).
+	Topology *sim.Topology
 }
 
 // workerCount resolves the Workers option.
@@ -352,12 +362,18 @@ func New(c *netlist.Circuit, opts Options) (*Engine, error) {
 	if opts.SeqBacktracks == 0 {
 		opts.SeqBacktracks = 100
 	}
+	topo := opts.Topology
+	if topo == nil {
+		topo = sim.NewTopology(c)
+	} else if topo.C != c {
+		return nil, fmt.Errorf("core: shared topology was built for circuit %q, not %q", topo.C.Name, c.Name)
+	}
 	e := &Engine{
 		c:    c,
 		opts: opts,
 		alg:  opts.Algebra,
 		meas: testability.Compute(c),
-		topo: sim.NewTopology(c),
+		topo: topo,
 	}
 	e.topo.SetConePolicy(conePolicy)
 	if opts.VariationBudget > 0 {

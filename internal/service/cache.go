@@ -1,0 +1,188 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"fogbuster/pkg/atpg"
+)
+
+// circuitCache deduplicates parsed circuits by content. Lookups go
+// through two keys: a cheap "raw" key derived from the request bytes
+// (so a repeated upload skips parsing entirely) and the canonical
+// content hash (so syntactic variants of one design converge on a
+// single shared *atpg.Circuit — and with it one memoized simulation
+// topology). Concurrent misses on the same raw key coalesce: exactly
+// one caller parses, the rest wait for its result.
+type circuitCache struct {
+	mu       sync.Mutex
+	capacity int
+	byHash   map[string]*list.Element // content hash → *circuitEntry element
+	byRaw    map[string]string        // raw key → content hash
+	lru      *list.List               // front is most recently used
+	inflight map[string]*parseCall    // raw key → in-flight build
+
+	hits, misses, parses int64
+}
+
+// circuitEntry is one cached circuit plus the raw keys aliasing it
+// (tracked so eviction removes the aliases too).
+type circuitEntry struct {
+	hash    string
+	rawKeys []string
+	circuit *atpg.Circuit
+}
+
+// parseCall coalesces concurrent builds of the same raw key.
+type parseCall struct {
+	done    chan struct{}
+	circuit *atpg.Circuit
+	err     error
+}
+
+func newCircuitCache(capacity int) *circuitCache {
+	return &circuitCache{
+		capacity: capacity,
+		byHash:   make(map[string]*list.Element),
+		byRaw:    make(map[string]string),
+		lru:      list.New(),
+		inflight: make(map[string]*parseCall),
+	}
+}
+
+// get returns the cached circuit for rawKey, building (and caching) it
+// via build on a miss. Builds for the same rawKey are single-flight;
+// build errors are returned to every waiter and never cached.
+func (cc *circuitCache) get(rawKey string, build func() (*atpg.Circuit, error)) (*atpg.Circuit, error) {
+	cc.mu.Lock()
+	if hash, ok := cc.byRaw[rawKey]; ok {
+		if el, ok := cc.byHash[hash]; ok {
+			cc.lru.MoveToFront(el)
+			cc.hits++
+			c := el.Value.(*circuitEntry).circuit
+			cc.mu.Unlock()
+			return c, nil
+		}
+		// The entry was evicted under the alias; fall through to rebuild.
+		delete(cc.byRaw, rawKey)
+	}
+	if call, ok := cc.inflight[rawKey]; ok {
+		cc.hits++ // coalesced onto another tenant's parse
+		cc.mu.Unlock()
+		<-call.done
+		return call.circuit, call.err
+	}
+	call := &parseCall{done: make(chan struct{})}
+	cc.inflight[rawKey] = call
+	cc.misses++
+	cc.mu.Unlock()
+
+	c, err := build()
+
+	cc.mu.Lock()
+	delete(cc.inflight, rawKey)
+	if err != nil {
+		cc.mu.Unlock()
+		call.err = err
+		close(call.done)
+		return nil, err
+	}
+	cc.parses++
+	hash := c.ContentHash()
+	if el, ok := cc.byHash[hash]; ok {
+		// Another raw spelling of a design we already hold: alias onto
+		// the existing circuit so its warm topology keeps being shared.
+		entry := el.Value.(*circuitEntry)
+		entry.rawKeys = append(entry.rawKeys, rawKey)
+		cc.byRaw[rawKey] = hash
+		cc.lru.MoveToFront(el)
+		c = entry.circuit
+	} else {
+		entry := &circuitEntry{hash: hash, rawKeys: []string{rawKey}, circuit: c}
+		cc.byHash[hash] = cc.lru.PushFront(entry)
+		cc.byRaw[rawKey] = hash
+		for cc.lru.Len() > cc.capacity {
+			oldest := cc.lru.Back()
+			cc.lru.Remove(oldest)
+			old := oldest.Value.(*circuitEntry)
+			delete(cc.byHash, old.hash)
+			for _, rk := range old.rawKeys {
+				delete(cc.byRaw, rk)
+			}
+		}
+	}
+	cc.mu.Unlock()
+	call.circuit = c
+	close(call.done)
+	return c, nil
+}
+
+// counters returns a consistent snapshot of the cache statistics.
+func (cc *circuitCache) counters() (entries int, hits, misses, parses int64) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.lru.Len(), cc.hits, cc.misses, cc.parses
+}
+
+// resultCache is a bounded LRU of finished runs' canonical JSON bodies,
+// keyed by (circuit content hash, config cache key). A hit replays the
+// stored bytes untouched — byte-identical responses are the point — so
+// only complete (never cancelled or partial) results are admitted.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	byKey    map[string]*list.Element
+	lru      *list.List // *resultEntry
+
+	hits, misses int64
+}
+
+type resultEntry struct {
+	key     string
+	body    []byte
+	runtime time.Duration // wall clock of the run that produced the body
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		byKey:    make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+func (rc *resultCache) get(key string) (body []byte, runtime time.Duration, ok bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, found := rc.byKey[key]
+	if !found {
+		rc.misses++
+		return nil, 0, false
+	}
+	rc.hits++
+	rc.lru.MoveToFront(el)
+	e := el.Value.(*resultEntry)
+	return e.body, e.runtime, true
+}
+
+func (rc *resultCache) put(key string, body []byte, runtime time.Duration) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.byKey[key]; ok {
+		rc.lru.MoveToFront(el)
+		return // first write wins; identical by the determinism contract
+	}
+	rc.byKey[key] = rc.lru.PushFront(&resultEntry{key: key, body: body, runtime: runtime})
+	for rc.lru.Len() > rc.capacity {
+		oldest := rc.lru.Back()
+		rc.lru.Remove(oldest)
+		delete(rc.byKey, oldest.Value.(*resultEntry).key)
+	}
+}
+
+func (rc *resultCache) counters() (entries int, hits, misses int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lru.Len(), rc.hits, rc.misses
+}

@@ -1,0 +1,35 @@
+// Package service is the ATPG-as-a-service subsystem behind cmd/atpgd:
+// a multi-tenant job scheduler, content-hash circuit and result caches,
+// and the HTTP/SSE handlers that expose them.
+//
+// The package consumes the engine exclusively through the public
+// fogbuster/pkg/atpg API — it is a client of the same surface external
+// Go programs use, and the import guards enforce that it never reaches
+// into the other internal packages. What it adds over pkg/atpg is the
+// service layer:
+//
+//   - Jobs: POST /v1/jobs accepts a built-in benchmark name or an
+//     uploaded ISCAS'89 .bench netlist plus an atpg.Config and an
+//     optional deadline; GET /v1/jobs/{id} reports status, GET
+//     /v1/jobs/{id}/result returns the canonical atpg.Result JSON
+//     byte-exactly, and DELETE /v1/jobs/{id} cancels (yielding the
+//     engine's coherent committed-prefix partial result).
+//   - Streaming: GET /v1/jobs/{id}/events replays and then follows the
+//     session's ordered per-fault commit events as server-sent events.
+//     The runner drains Session.Events into a bounded per-job log, so a
+//     slow or disconnected SSE client can never wedge the merge loop,
+//     and a client disconnect never cancels the job.
+//   - Scheduling: a bounded queue feeds a fixed pool of job runners;
+//     each job runs under its own context.WithTimeout with the worker
+//     count clamped to a per-job cap, sharing the machine across
+//     tenants.
+//   - Caching: parsed circuits are deduplicated by the SHA-256 of their
+//     canonical .bench text (atpg.Circuit.ContentHash), so N clients
+//     submitting the same hot circuit pay parsing and levelization once
+//     (the memoized sim topology rides on the shared Circuit); complete
+//     results are kept in a bounded LRU keyed by (circuit hash,
+//     atpg.Config.CacheKey), and hits replay the stored canonical JSON
+//     byte-identically.
+//
+// See DESIGN.md §10 for the architecture and the exact SSE contract.
+package service

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"sync"
+
+	"fogbuster/pkg/atpg"
+)
+
+// eventLog is the per-job event buffer between the session drainer and
+// any number of SSE subscribers. The drainer appends without ever
+// blocking (this is what keeps a slow SSE client from wedging the
+// engine's merge loop); subscribers poll by absolute index and park on
+// a broadcast channel between appends, so they can simultaneously wait
+// for new events and for their client to disconnect.
+//
+// The log is bounded: past limit events the oldest are discarded in
+// chunks and start advances, so a subscriber that fell behind the
+// window observes an explicit gap (dropped > 0) instead of silently
+// missing events. Progress totals are tracked so job status can report
+// done/total without scanning.
+type eventLog struct {
+	mu       sync.Mutex
+	wait     chan struct{} // closed and replaced on every append/finish
+	events   []atpg.Event
+	start    int // absolute index of events[0]
+	limit    int
+	finished bool
+
+	done, total int // latest progress event
+}
+
+func newEventLog(limit int) *eventLog {
+	if limit < 16 {
+		limit = 16
+	}
+	return &eventLog{wait: make(chan struct{}), limit: limit}
+}
+
+// append adds one event and wakes every parked subscriber.
+func (l *eventLog) append(ev atpg.Event) {
+	l.mu.Lock()
+	if ev.Kind == atpg.EventProgress {
+		l.done, l.total = ev.Done, ev.Total
+	}
+	l.events = append(l.events, ev)
+	if len(l.events) > l.limit {
+		// Drop a quarter of the window at once so the copy amortizes.
+		drop := l.limit / 4
+		if drop < 1 {
+			drop = 1
+		}
+		l.start += drop
+		l.events = append(l.events[:0:0], l.events[drop:]...)
+	}
+	close(l.wait)
+	l.wait = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// finish marks the stream complete and wakes every parked subscriber.
+func (l *eventLog) finish() {
+	l.mu.Lock()
+	l.finished = true
+	close(l.wait)
+	l.wait = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// from returns the events at absolute index i and later, the next index
+// to resume from, how many events before i fell out of the bounded
+// window (0 when none), whether the stream is complete, and the channel
+// that closes on the next append/finish. The returned slice is a stable
+// snapshot: elements already appended are never mutated.
+func (l *eventLog) from(i int) (evs []atpg.Event, next int, dropped int, finished bool, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < l.start {
+		dropped = l.start - i
+		i = l.start
+	}
+	end := l.start + len(l.events)
+	if i < end {
+		evs = l.events[i-l.start:]
+	}
+	return evs, end, dropped, l.finished, l.wait
+}
+
+// progress returns the absolute event count and the latest done/total.
+func (l *eventLog) progress() (events, done, total int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.start + len(l.events), l.done, l.total
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fogbuster/pkg/atpg"
+)
+
+// Job states exposed by the API. A job is queued until a runner picks
+// it up, running while the session executes, and done afterwards —
+// whether it completed, timed out, was cancelled, or failed (the Err
+// field of the status distinguishes those).
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// job is one submitted ATPG run. The immutable fields are set at
+// submission; the mutable tail is guarded by mu.
+type job struct {
+	id          string
+	circuit     *atpg.Circuit
+	circuitHash string
+	cfg         atpg.Config // canonical, workers clamped
+	cacheKey    string      // circuitHash + config cache key
+	timeout     time.Duration
+	events      *eventLog
+	created     time.Time
+
+	mu        sync.Mutex
+	state     string
+	cancel    context.CancelFunc
+	cancelled bool
+	fromCache bool
+	result    []byte // canonical atpg.Result JSON (Runtime zeroed), nil until done
+	runtime   time.Duration
+	errMsg    string
+	finished  time.Time
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	State       string      `json:"state"`
+	Circuit     string      `json:"circuit"`
+	CircuitHash string      `json:"circuit_hash"`
+	Config      atpg.Config `json:"config"`
+	TimeoutMS   int64       `json:"timeout_ms"`
+	// Done/Total mirror the latest progress event: Done targeting
+	// positions of Total are committed.
+	Done  int `json:"done"`
+	Total int `json:"total,omitempty"`
+	// Events is the absolute count of streamed events so far.
+	Events int `json:"events"`
+	// Cached marks a result replayed from the results cache.
+	Cached bool `json:"cached,omitempty"`
+	// Cancelled marks a job that received DELETE before finishing.
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Err is the terminal error, "context canceled" / "context deadline
+	// exceeded" for cancelled and timed-out jobs (which still carry the
+	// committed-prefix partial result).
+	Err string `json:"err,omitempty"`
+	// RuntimeNS is the engine wall clock of the run that produced the
+	// result (the original run's, for cached replays).
+	RuntimeNS int64 `json:"runtime_ns,omitempty"`
+	// HasResult tells whether GET /v1/jobs/{id}/result will serve a
+	// document.
+	HasResult bool `json:"has_result"`
+}
+
+// status snapshots the job for the API.
+func (j *job) status() JobStatus {
+	events, done, total := j.events.progress()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.circuit.Name(),
+		CircuitHash: j.circuitHash,
+		Config:      j.cfg,
+		TimeoutMS:   j.timeout.Milliseconds(),
+		Done:        done,
+		Total:       total,
+		Events:      events,
+		Cached:      j.fromCache,
+		Cancelled:   j.cancelled,
+		Err:         j.errMsg,
+		RuntimeNS:   int64(j.runtime),
+		HasResult:   j.result != nil,
+	}
+}
+
+// beginRun moves a queued job to running; it returns false when the job
+// was cancelled while queued (in which case it is already done).
+func (j *job) beginRun() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// bindCancel installs the running job's context cancel; a cancellation
+// that raced ahead of the bind fires immediately.
+func (j *job) bindCancel(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	fire := j.cancelled
+	j.mu.Unlock()
+	if fire {
+		cancel()
+	}
+}
+
+// requestCancel handles DELETE: a queued job finishes immediately with
+// no result, a running one gets its context cancelled (the session then
+// returns the coherent committed-prefix partial result), and a done job
+// is left untouched.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	var fire context.CancelFunc
+	switch j.state {
+	case StateDone:
+	case StateQueued:
+		j.cancelled = true
+		j.state = StateDone
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+	case StateRunning:
+		j.cancelled = true
+		fire = j.cancel
+	}
+	state := j.state
+	j.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+	if state == StateDone {
+		j.events.finish()
+	}
+}
+
+// finish records the terminal state. body may carry a partial result
+// (runErr non-nil) or nil for a hard failure before any result existed.
+func (j *job) finish(body []byte, runtime time.Duration, runErr error, fromCache bool) {
+	j.mu.Lock()
+	if j.state == StateDone { // lost the race against a queued-cancel
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateDone
+	j.result = body
+	j.runtime = runtime
+	j.fromCache = fromCache
+	if runErr != nil {
+		j.errMsg = runErr.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.events.finish()
+}
+
+// resultBody returns the canonical result document, or nil while the
+// job is unfinished (or finished without one).
+func (j *job) resultBody() (body []byte, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}

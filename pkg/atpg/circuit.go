@@ -1,11 +1,15 @@
 package atpg
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"fogbuster/internal/bench"
 	"fogbuster/internal/netlist"
@@ -13,10 +17,23 @@ import (
 )
 
 // Circuit is an immutable parsed circuit, the input to New. The zero
-// value is invalid; obtain circuits from ParseBench, LoadBench or
-// Benchmark.
+// value is invalid; obtain circuits from ParseBench, ReadBench,
+// LoadBench or Benchmark.
+//
+// A Circuit memoizes derived read-only state — the canonical content
+// hash and the simulation topology (levelized CSR view plus lazily
+// built cone sets) — so that any number of concurrent Sessions over the
+// same Circuit pay levelization once. Sharing a *Circuit between
+// goroutines is safe.
 type Circuit struct {
 	c *netlist.Circuit
+
+	mu    sync.Mutex
+	hash  string                           // memoized ContentHash
+	topos map[sim.ConePolicy]*sim.Topology // memoized per cone policy
+	// topoBuilds counts actual topology constructions (white-box
+	// observability for the sharing tests).
+	topoBuilds int
 }
 
 // ParseBench parses ISCAS'89 .bench text. The name labels the circuit in
@@ -33,6 +50,18 @@ func ParseBench(name, src string) (*Circuit, error) {
 	return &Circuit{c: c}, nil
 }
 
+// ReadBench parses ISCAS'89 .bench text from a reader — netlists
+// arriving over the wire, not from disk. The name labels the circuit in
+// results and error messages; malformed input is reported as an error,
+// never a panic.
+func ReadBench(name string, r io.Reader) (*Circuit, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("atpg: %s: %w", name, err)
+	}
+	return ParseBench(name, string(data))
+}
+
 // LoadBench reads and parses a .bench file.
 func LoadBench(path string) (*Circuit, error) {
 	data, err := os.ReadFile(path)
@@ -44,6 +73,50 @@ func LoadBench(path string) (*Circuit, error) {
 
 // Name returns the circuit's name.
 func (c *Circuit) Name() string { return c.c.Name }
+
+// Bench renders the circuit in canonical ISCAS'89 .bench form: header
+// comment, inputs, outputs, flip-flops, then gates in definition order.
+// Parsing the result yields a structurally identical circuit, so two
+// circuits with equal Bench text are the same design under the same
+// name — the normalization ContentHash keys on.
+func (c *Circuit) Bench() string { return c.c.Bench() }
+
+// ContentHash returns the hex SHA-256 of the canonical Bench text — a
+// content address for the circuit. Syntactic variation in the source
+// (comments, whitespace, line order) washes out: uploads that parse to
+// the same named design share a hash, which is what lets a service
+// cache parsed circuits and their topologies across clients. The hash
+// is computed once and memoized.
+func (c *Circuit) ContentHash() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hash == "" {
+		sum := sha256.Sum256([]byte(c.c.Bench()))
+		c.hash = hex.EncodeToString(sum[:])
+	}
+	return c.hash
+}
+
+// topology returns the memoized shared simulation topology for the cone
+// policy, building it on first use. Every Session over this Circuit
+// with the same policy reuses one Topology (it is immutable and already
+// shared by all workers of a run), so levelization and cone-set
+// construction are paid once per circuit, not per job.
+func (c *Circuit) topology(policy sim.ConePolicy) *sim.Topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.topos[policy]; ok {
+		return t
+	}
+	if c.topos == nil {
+		c.topos = make(map[sim.ConePolicy]*sim.Topology)
+	}
+	t := sim.NewTopology(c.c)
+	t.SetConePolicy(policy)
+	c.topos[policy] = t
+	c.topoBuilds++
+	return t
+}
 
 // Faults returns the size of the gate delay fault universe (two faults
 // per line).

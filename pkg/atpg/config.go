@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"fogbuster/internal/core"
@@ -149,6 +150,66 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: %v", err)
 	}
 	return nil
+}
+
+// Canonical validates the configuration and returns its normal form:
+// aliases resolved ("" and "non-robust" become the canonical algebra
+// names), empty selectors replaced by their named defaults (natural
+// order, auto cone sets) and zero budgets by the defaults they mean
+// (100 backtracks, 32 frames). Two configurations with equal Canonical
+// forms produce identical Results on the same circuit, which makes the
+// normal form the right input for result-cache keys and request
+// deduplication. The canonical form of a canonical config is itself.
+func (c Config) Canonical() (Config, error) {
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	out := c
+	switch c.Algebra {
+	case "", AlgebraRobust:
+		out.Algebra = AlgebraRobust
+	default:
+		out.Algebra = AlgebraNonRobust
+	}
+	if out.Order == "" {
+		out.Order = OrderNatural
+	}
+	if out.LocalBacktracks == 0 {
+		out.LocalBacktracks = 100
+	}
+	if out.SeqBacktracks == 0 {
+		out.SeqBacktracks = 100
+	}
+	if out.MaxFrames == 0 {
+		out.MaxFrames = 32
+	}
+	if out.ConeSets == "" {
+		out.ConeSets = ConeSetsAuto
+	}
+	return out, nil
+}
+
+// CacheKey returns a deterministic string key for result caching: the
+// compact JSON of the Canonical form with the pure-scheduling knobs
+// (FullEval, ScalarCredit, Broadcast, Steal, ConeSets) cleared, since
+// the Result — canonical JSON included — is bit-identical under every
+// setting of those. Workers stays in the key because Result echoes it.
+// Invalid configurations are errors.
+func (c Config) CacheKey() (string, error) {
+	canon, err := c.Canonical()
+	if err != nil {
+		return "", err
+	}
+	canon.FullEval = false
+	canon.ScalarCredit = false
+	canon.Broadcast = false
+	canon.Steal = false
+	canon.ConeSets = ""
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("atpg: %w", err)
+	}
+	return string(b), nil
 }
 
 // algebra resolves the Algebra field.
