@@ -1,0 +1,401 @@
+// Atpgcoord coordinates a distributed ATPG run: it splits the fault
+// universe into shards, fans them out across local processes or remote
+// atpgd workers, resumes failed shards from their last checkpoint, and
+// merges the partial results into one canonical document byte-identical
+// to a single-process run of the same configuration. See DESIGN.md §11
+// for the shard/checkpoint/merge contract and the README for a
+// quickstart against two atpgd workers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"fogbuster/pkg/atpg"
+)
+
+// config is the parsed command line, kept separate from main so tests
+// drive run() directly.
+type config struct {
+	benchPath string // -bench: .bench netlist file
+	circuit   string // -circuit: built-in benchmark name
+	shards    int
+	retries   int
+	endpoints []string // remote atpgd base URLs; empty = in-process
+	out       string
+	poll      time.Duration
+	timeout   time.Duration
+	run       atpg.Config
+	// killShard, when >= 0, aborts that shard's first local attempt a
+	// few commits in — a deterministic failure-injection hook used by
+	// the invariance tests; hidden from -h.
+	killShard int
+}
+
+// parseArgs parses the command line; errors (including -h) go to stderr.
+func parseArgs(argv []string, stderr io.Writer) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("atpgcoord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.benchPath, "bench", "", "ISCAS'89 .bench netlist file")
+	fs.StringVar(&cfg.circuit, "circuit", "", "built-in benchmark name (s27, s298, ...)")
+	fs.IntVar(&cfg.shards, "shards", 2, "number of shards to split the fault universe into")
+	fs.IntVar(&cfg.retries, "retries", 3, "resume attempts per shard before giving up")
+	endpoints := fs.String("endpoints", "", "comma-separated atpgd base URLs; empty runs shards in-process")
+	fs.StringVar(&cfg.out, "o", "", "write the merged result here instead of stdout")
+	fs.DurationVar(&cfg.poll, "poll", 100*time.Millisecond, "remote job status poll interval")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "per-shard job deadline (0 = worker default)")
+	fs.IntVar(&cfg.run.Workers, "workers", 1, "engine workers per shard (sent explicitly so every worker agrees)")
+	fs.Int64Var(&cfg.run.Seed, "seed", 0, "X-fill RNG seed")
+	fs.StringVar(&cfg.run.Order, "order", "", "fault targeting order (natural, adi, ...)")
+	algebra := fs.String("algebra", "", "sensitization algebra (robust, nonrobust, adi)")
+	fs.IntVar(&cfg.run.MaxTargets, "maxtargets", 0, "budget on targeted faults (0 = all)")
+	fs.IntVar(&cfg.killShard, "kill-shard", -1, "")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if fs.NArg() != 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if (cfg.benchPath == "") == (cfg.circuit == "") {
+		return nil, fmt.Errorf("exactly one of -bench or -circuit is required")
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("-shards must be at least 1")
+	}
+	if cfg.retries < 0 {
+		return nil, fmt.Errorf("-retries must not be negative")
+	}
+	cfg.run.Algebra = *algebra
+	if *endpoints != "" {
+		for _, e := range strings.Split(*endpoints, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				cfg.endpoints = append(cfg.endpoints, strings.TrimRight(e, "/"))
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// loadCircuit resolves -bench / -circuit to a circuit plus the netlist
+// text remote submissions ship. A file circuit is named by its base
+// name so the result document reads "s27", not a host-specific path.
+func (cfg *config) loadCircuit() (*atpg.Circuit, string, error) {
+	if cfg.circuit != "" {
+		c, err := atpg.Benchmark(cfg.circuit)
+		return c, "", err
+	}
+	text, err := os.ReadFile(cfg.benchPath)
+	if err != nil {
+		return nil, "", err
+	}
+	name := strings.TrimSuffix(filepath.Base(cfg.benchPath), ".bench")
+	c, err := atpg.ParseBench(name, string(text))
+	if err != nil {
+		return nil, "", err
+	}
+	return c, string(text), nil
+}
+
+// shardOutcome is one shard's final (or failed) state.
+type shardOutcome struct {
+	res *atpg.Result
+	err error
+}
+
+// runShardLocal drives one shard in-process, resuming from checkpoints
+// across attempts. A complete shard has its cursor at the window end.
+func runShardLocal(c *atpg.Circuit, cfg *config, idx int) (*atpg.Result, error) {
+	scfg := cfg.run
+	scfg.Shards, scfg.ShardIndex = cfg.shards, idx
+	var ckpt *atpg.Checkpoint
+	var lastErr error
+	for attempt := 0; attempt <= cfg.retries; attempt++ {
+		var ses *atpg.Session
+		var err error
+		if ckpt == nil {
+			ses, err = atpg.New(c, scfg)
+		} else {
+			ses, err = atpg.Resume(c, ckpt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if cfg.timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), cfg.timeout)
+		}
+		if cfg.killShard == idx && attempt == 0 {
+			// Failure injection: abort this attempt three commits in, as
+			// if the worker process died mid-run.
+			seen := 0
+			ses.OnEvent(func(ev atpg.Event) {
+				if ev.Kind == atpg.EventProgress {
+					if seen++; seen == 3 {
+						cancel()
+					}
+				}
+			})
+		}
+		res, runErr := ses.Run(ctx)
+		cancel()
+		if runErr == nil && res.Shard != nil && res.Shard.Cursor >= res.Shard.Hi {
+			return res, nil
+		}
+		lastErr = runErr
+		if lastErr == nil {
+			lastErr = fmt.Errorf("shard stopped at cursor %d of [%d,%d)", res.Shard.Cursor, res.Shard.Lo, res.Shard.Hi)
+		}
+		if ckpt, err = ses.Checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// Minimal wire shapes for the atpgd API (the daemon's JSON is a
+// superset; unknown fields are ignored on decode).
+type submitRequest struct {
+	Benchmark  string           `json:"benchmark,omitempty"`
+	Bench      string           `json:"bench,omitempty"`
+	Name       string           `json:"name,omitempty"`
+	Config     atpg.Config      `json:"config"`
+	TimeoutMS  int64            `json:"timeout_ms,omitempty"`
+	Checkpoint *atpg.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// fatalSubmitError marks a worker's 4xx rejection: deterministic, so
+// retrying on another endpoint cannot help.
+type fatalSubmitError struct{ msg string }
+
+func (e *fatalSubmitError) Error() string { return e.msg }
+
+// remoteWorker talks to one atpgd endpoint.
+type remoteWorker struct {
+	base   string
+	client *http.Client
+}
+
+// postJob submits a job and decodes the accepted status.
+func (w *remoteWorker) postJob(req *submitRequest) (*jobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Post(w.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("%s: submit: %s: %s", w.base, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode < 500 {
+			return nil, &fatalSubmitError{err.Error()}
+		}
+		return nil, err
+	}
+	st := &jobStatus{}
+	return st, json.NewDecoder(resp.Body).Decode(st)
+}
+
+// get fetches a JSON document, returning (nil, nil) on 404/409 when
+// tolerate is set (no checkpoint snapshot yet is not an error).
+func (w *remoteWorker) get(path string, tolerate bool) ([]byte, error) {
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if tolerate && resp.StatusCode < 500 {
+			return nil, nil
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: GET %s: %s: %s", w.base, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// runShardRemote drives one shard against the endpoint list: submit to
+// one worker, poll its status while mirroring checkpoint snapshots, and
+// on worker death (transport error or 5xx) rotate to the next endpoint
+// and resume from the last snapshot seen. Attempts rotate through the
+// endpoints so a single dead worker never strands a shard.
+func runShardRemote(cfg *config, bench, name string, idx int) (*atpg.Result, error) {
+	scfg := cfg.run
+	scfg.Shards, scfg.ShardIndex = cfg.shards, idx
+	req := &submitRequest{Config: scfg, TimeoutMS: cfg.timeout.Milliseconds()}
+	if cfg.circuit != "" {
+		req.Benchmark = cfg.circuit
+	} else {
+		req.Bench, req.Name = bench, name
+	}
+	var ckpt *atpg.Checkpoint
+	var lastErr error
+	for attempt := 0; attempt <= cfg.retries; attempt++ {
+		w := &remoteWorker{
+			base:   cfg.endpoints[(idx+attempt)%len(cfg.endpoints)],
+			client: &http.Client{Timeout: 30 * time.Second},
+		}
+		req.Checkpoint = ckpt
+		res, err := runJobOn(w, req, cfg.poll, &ckpt)
+		if err == nil {
+			return res, nil
+		}
+		if fe, ok := err.(*fatalSubmitError); ok {
+			return nil, fe
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// runJobOn submits and babysits one job on one worker. It keeps *ckpt
+// refreshed with the newest snapshot so the caller can resume elsewhere
+// when this worker dies mid-run.
+func runJobOn(w *remoteWorker, req *submitRequest, poll time.Duration, ckpt **atpg.Checkpoint) (*atpg.Result, error) {
+	st, err := w.postJob(req)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		body, err := w.get("/v1/jobs/"+st.ID, false)
+		if err != nil {
+			return nil, err
+		}
+		var cur jobStatus
+		if err := json.Unmarshal(body, &cur); err != nil {
+			return nil, err
+		}
+		// Mirror the latest checkpoint before looking at the state: if
+		// the worker dies between polls this is what the resume carries.
+		if ckBody, err := w.get("/v1/jobs/"+st.ID+"/checkpoint", true); err != nil {
+			return nil, err
+		} else if ckBody != nil {
+			var ck atpg.Checkpoint
+			if err := json.Unmarshal(ckBody, &ck); err == nil {
+				if *ckpt == nil || ck.Cursor > (*ckpt).Cursor {
+					*ckpt = &ck
+				}
+			}
+		}
+		if cur.State != "done" {
+			time.Sleep(poll)
+			continue
+		}
+		if cur.Err != "" {
+			return nil, fmt.Errorf("%s: job %s: %s", w.base, st.ID, cur.Err)
+		}
+		resBody, err := w.get("/v1/jobs/"+st.ID+"/result", false)
+		if err != nil {
+			return nil, err
+		}
+		var res atpg.Result
+		if err := json.Unmarshal(resBody, &res); err != nil {
+			return nil, err
+		}
+		if res.Shard == nil || res.Shard.Cursor < res.Shard.Hi {
+			return nil, fmt.Errorf("%s: job %s returned an incomplete shard", w.base, st.ID)
+		}
+		return &res, nil
+	}
+}
+
+// run is the testable entry point.
+func run(argv []string, stdout, stderr io.Writer) int {
+	cfg, err := parseArgs(argv, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+		return 2
+	}
+	c, bench, err := cfg.loadCircuit()
+	if err != nil {
+		fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+		return 1
+	}
+	// Validate the run configuration (with shard fields in place) once,
+	// up front, instead of once per shard goroutine.
+	probe := cfg.run
+	probe.Shards, probe.ShardIndex = cfg.shards, 0
+	if _, err := probe.Canonical(); err != nil {
+		fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+		return 2
+	}
+
+	outcomes := make([]shardOutcome, cfg.shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var res *atpg.Result
+			var err error
+			if len(cfg.endpoints) > 0 {
+				res, err = runShardRemote(cfg, bench, c.Name(), i)
+			} else {
+				res, err = runShardLocal(c, cfg, i)
+			}
+			outcomes[i] = shardOutcome{res, err}
+		}(i)
+	}
+	wg.Wait()
+
+	parts := make([]*atpg.Result, 0, cfg.shards)
+	failed := false
+	for i, o := range outcomes {
+		if o.err != nil {
+			fmt.Fprintf(stderr, "atpgcoord: shard %d/%d unaccounted for after %d attempts: %v\n", i, cfg.shards, cfg.retries+1, o.err)
+			failed = true
+			continue
+		}
+		parts = append(parts, o.res)
+	}
+	if failed {
+		return 1
+	}
+	merged, err := atpg.MergeResults(parts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+		return 1
+	}
+
+	out := stdout
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := atpg.EncodeJSON(out, merged); err != nil {
+		fmt.Fprintf(stderr, "atpgcoord: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "atpgcoord: %d shards merged: %d faults, %d tested, %d patterns\n",
+		cfg.shards, len(merged.Faults), merged.Tested, merged.Patterns)
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

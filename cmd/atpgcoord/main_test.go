@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fogbuster/internal/service"
+	"fogbuster/pkg/atpg"
+)
+
+// directBytes is the ground truth: an unsharded in-process run of the
+// same canonical config, wall clock zeroed (the merged document always
+// carries runtime 0).
+func directBytes(t *testing.T, circuit string, cfg atpg.Config) []byte {
+	t.Helper()
+	c, err := atpg.Benchmark(circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := atpg.New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Runtime = 0
+	var buf bytes.Buffer
+	if err := atpg.EncodeJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// coord runs the coordinator CLI and returns exit code, stdout, stderr.
+func coord(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestCoordinatorLocalMatrix: every local shard count reproduces the
+// unsharded single-process document byte for byte.
+func TestCoordinatorLocalMatrix(t *testing.T) {
+	want := string(directBytes(t, "s27", atpg.Config{Workers: 1, Seed: 42}))
+	for _, shards := range []int{1, 2, 4} {
+		code, out, errs := coord(t, "-circuit", "s27", "-shards", fmt.Sprint(shards), "-seed", "42")
+		if code != 0 {
+			t.Fatalf("shards=%d: exit %d: %s", shards, code, errs)
+		}
+		if out != want {
+			t.Errorf("shards=%d: merged document diverged from the unsharded run", shards)
+		}
+	}
+}
+
+// TestCoordinatorBenchFile: -bench file input produces the same
+// document as the built-in -circuit path.
+func TestCoordinatorBenchFile(t *testing.T) {
+	c, err := atpg.Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	if err := os.WriteFile(path, []byte(c.Bench()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := coord(t, "-bench", path, "-shards", "2", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if want := string(directBytes(t, "s27", atpg.Config{Workers: 1, Seed: 42})); out != want {
+		t.Error("-bench run diverged from the built-in circuit run")
+	}
+}
+
+// TestCoordinatorKillShardResumes: the failure-injection hook aborts
+// one shard mid-run; the coordinator resumes it from its checkpoint and
+// the merged document is still byte-identical.
+func TestCoordinatorKillShardResumes(t *testing.T) {
+	want := string(directBytes(t, "s27", atpg.Config{Workers: 1, Seed: 42}))
+	code, out, errs := coord(t, "-circuit", "s27", "-shards", "2", "-seed", "42", "-kill-shard", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if out != want {
+		t.Error("merge after a killed-and-resumed shard diverged from the unsharded run")
+	}
+}
+
+// TestCoordinatorUnaccountedShardFails: with no retries left a killed
+// shard stays unaccounted for and the coordinator must exit non-zero,
+// naming the shard.
+func TestCoordinatorUnaccountedShardFails(t *testing.T) {
+	code, out, errs := coord(t, "-circuit", "s27", "-shards", "2", "-seed", "42", "-kill-shard", "0", "-retries", "0")
+	if code == 0 {
+		t.Fatal("coordinator exited 0 with an unaccounted shard")
+	}
+	if !strings.Contains(errs, "shard 0/2 unaccounted for") {
+		t.Errorf("stderr does not name the unaccounted shard: %q", errs)
+	}
+	if out != "" {
+		t.Error("a failed run still wrote a merged document")
+	}
+}
+
+// TestCoordinatorBadArgs pins the CLI contract for the usage errors.
+func TestCoordinatorBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-circuit", "s27", "-bench", "x.bench"},
+		{"-circuit", "s27", "-shards", "0"},
+		{"-circuit", "s27", "-retries", "-1"},
+		{"-circuit", "s27", "stray"},
+	} {
+		if code, _, _ := coord(t, args...); code == 0 {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// worker boots an in-process atpgd-equivalent (the service behind the
+// daemon) on an ephemeral port.
+func worker(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Options{CheckpointEvery: 2 * time.Millisecond, MaxWorkersPerJob: 8})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts
+}
+
+// TestCoordinatorRemoteWorkers fans shards across two live workers and
+// requires the merged document to match the unsharded direct run.
+func TestCoordinatorRemoteWorkers(t *testing.T) {
+	a, b := worker(t), worker(t)
+	want := string(directBytes(t, "s27", atpg.Config{Workers: 2, Seed: 42}))
+	code, out, errs := coord(t, "-circuit", "s27", "-shards", "4", "-workers", "2", "-seed", "42",
+		"-endpoints", a.URL+","+b.URL, "-poll", "2ms")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if out != want {
+		t.Error("remote fan-out diverged from the unsharded run")
+	}
+}
+
+// TestCoordinatorDeadEndpointFailover: one endpoint refuses every
+// connection; retry rotation moves its shards to the live worker.
+func TestCoordinatorDeadEndpointFailover(t *testing.T) {
+	live := worker(t)
+	dead := httptest.NewServer(nil)
+	dead.Close() // now a bound-then-released port that refuses connections
+	want := string(directBytes(t, "s27", atpg.Config{Workers: 1, Seed: 42}))
+	code, out, errs := coord(t, "-circuit", "s27", "-shards", "2", "-seed", "42",
+		"-endpoints", dead.URL+","+live.URL, "-poll", "2ms", "-retries", "1")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if out != want {
+		t.Error("failover run diverged from the unsharded run")
+	}
+}
+
+// TestCoordinatorMidRunWorkerDeath: worker A dies (starts refusing all
+// requests) right after serving its first checkpoint snapshot; the
+// coordinator must carry that snapshot to worker B, resume there, and
+// still produce the byte-identical document. This is the service-level
+// version of the kill-shard drill.
+func TestCoordinatorMidRunWorkerDeath(t *testing.T) {
+	svcA := service.New(service.Options{CheckpointEvery: 2 * time.Millisecond})
+	var died atomic.Bool
+	handlerA := svcA.Handler()
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if died.Load() {
+			http.Error(w, "worker down", http.StatusServiceUnavailable)
+			return
+		}
+		if strings.HasSuffix(r.URL.Path, "/checkpoint") {
+			rec := httptest.NewRecorder()
+			handlerA.ServeHTTP(rec, r)
+			if rec.Code == http.StatusOK {
+				died.Store(true) // serve this snapshot, then drop dead
+			}
+			for k, vs := range rec.Header() {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(rec.Body.Bytes())
+			return
+		}
+		handlerA.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() { a.Close(); svcA.Close() })
+	b := worker(t)
+
+	want := string(directBytes(t, "s298", atpg.Config{Workers: 1, Seed: 42}))
+	code, out, errs := coord(t, "-circuit", "s298", "-shards", "1", "-seed", "42",
+		"-endpoints", a.URL+","+b.URL, "-poll", "2ms", "-retries", "2")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !died.Load() {
+		t.Fatal("worker A never served a checkpoint; the drill did not run")
+	}
+	if out != want {
+		t.Error("resume on the surviving worker diverged from the unsharded run")
+	}
+}

@@ -4,8 +4,11 @@
 // With -max-regress it exits non-zero when any common benchmark's ns/op
 // regressed by more than the given percentage — the CI gate that keeps a
 // PR from silently giving back the optimizations the trajectory in
-// EXPERIMENTS.md records. Benchmarks present on only one side are listed
-// but never gate (the set grows PR over PR).
+// EXPERIMENTS.md records. Benchmarks that exist only in the new file are
+// listed but never gate (the set grows PR over PR); a baseline benchmark
+// missing from the new file always fails, with or without -max-regress —
+// a deleted or renamed benchmark silently un-pins its baseline, which is
+// exactly the regression the gate exists to catch.
 package main
 
 import (
@@ -67,7 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fmt.Fprint(stdout, report)
 	if len(failures) > 0 {
 		for _, f := range failures {
-			fmt.Fprintf(stderr, "benchdiff: REGRESSION %s\n", f)
+			fmt.Fprintf(stderr, "benchdiff: %s\n", f)
 		}
 		return 1
 	}
@@ -95,8 +98,9 @@ func load(path string) (map[string]Record, error) {
 	return out, nil
 }
 
-// diff renders the comparison table and returns the regression messages
-// exceeding maxRegress percent (none when maxRegress is 0).
+// diff renders the comparison table and returns the failure messages:
+// regressions exceeding maxRegress percent (none when maxRegress is 0)
+// and baseline benchmarks that disappeared from the new file (always).
 func diff(old, cur map[string]Record, metric string, maxRegress float64) (string, []string) {
 	names := make([]string, 0, len(old)+len(cur))
 	for n := range old {
@@ -123,6 +127,8 @@ func diff(old, cur map[string]Record, metric string, maxRegress float64) (string
 			}
 		case !haveCur || !okCur:
 			out += fmt.Sprintf("%-60s %14.0f %14s %8s\n", n, ov, "-", "gone")
+			failures = append(failures,
+				fmt.Sprintf("benchmark disappeared: %s has no %s in the new file (baseline %.0f); deleted or renamed benchmarks un-pin their baseline and must be addressed explicitly", n, metric, ov))
 		default:
 			delta := 0.0
 			if ov != 0 {
@@ -131,7 +137,7 @@ func diff(old, cur map[string]Record, metric string, maxRegress float64) (string
 			out += fmt.Sprintf("%-60s %14.0f %14.0f %+7.1f%%\n", n, ov, cv, delta)
 			if maxRegress > 0 && delta > maxRegress {
 				failures = append(failures,
-					fmt.Sprintf("%s: %s %+.1f%% (limit %+.1f%%)", n, metric, delta, maxRegress))
+					fmt.Sprintf("REGRESSION %s: %s %+.1f%% (limit %+.1f%%)", n, metric, delta, maxRegress))
 			}
 		}
 	}

@@ -24,7 +24,10 @@ const oldJSON = `[
 ]`
 
 // TestBenchdiffReport pins the comparison semantics: common benchmarks
-// get a delta, one-sided benchmarks are labeled new/gone and never gate.
+// get a delta, benchmarks only in the new file are labeled new and
+// never gate, and a baseline benchmark missing from the new file is
+// labeled gone AND fails the run with a clear message — even without
+// -max-regress.
 func TestBenchdiffReport(t *testing.T) {
 	dir := t.TempDir()
 	o := write(t, dir, "old.json", oldJSON)
@@ -34,13 +37,87 @@ func TestBenchdiffReport(t *testing.T) {
  {"name":"BenchmarkNew","runs":10,"metrics":{"ns/op":7}}
 ]`)
 	var out, errOut strings.Builder
-	if code := run([]string{o, n}, &out, &errOut); code != 0 {
-		t.Fatalf("exit %d without -max-regress; stderr: %s", code, errOut.String())
+	if code := run([]string{o, n}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 for a disappeared baseline; stderr: %s", code, errOut.String())
 	}
 	for _, want := range []string{"+10.0%", "-25.0%", "new", "gone"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
+	}
+	if !strings.Contains(errOut.String(), "benchmark disappeared: BenchmarkGone") {
+		t.Errorf("stderr does not name the disappeared benchmark: %s", errOut.String())
+	}
+
+	// With the baseline set intact the same comparison reports cleanly.
+	intact := write(t, dir, "intact.json", `[
+ {"name":"BenchmarkA","runs":10,"metrics":{"ns/op":1100}},
+ {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":1500}},
+ {"name":"BenchmarkGone","runs":10,"metrics":{"ns/op":5}},
+ {"name":"BenchmarkNew","runs":10,"metrics":{"ns/op":7}}
+]`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{o, intact}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with the baseline intact; stderr: %s", code, errOut.String())
+	}
+}
+
+// TestBenchdiffDisappeared is the table test for the disappearance
+// semantics: what counts as a lost baseline, and what does not.
+func TestBenchdiffDisappeared(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		old, cur string
+		args     []string
+		exit     int
+		stderr   string
+	}{
+		{
+			name: "record dropped entirely",
+			old:  `[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":10}}]`,
+			cur:  `[]`,
+			exit: 1, stderr: "benchmark disappeared: BenchmarkX",
+		},
+		{
+			name: "metric dropped from a surviving record",
+			old:  `[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":10,"B/op":4}}]`,
+			cur:  `[{"name":"BenchmarkX","runs":1,"metrics":{"B/op":4}}]`,
+			exit: 1, stderr: "benchmark disappeared: BenchmarkX",
+		},
+		{
+			name: "gates even alongside -max-regress",
+			old:  `[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":10}},{"name":"BenchmarkY","runs":1,"metrics":{"ns/op":10}}]`,
+			cur:  `[{"name":"BenchmarkY","runs":1,"metrics":{"ns/op":10}}]`,
+			args: []string{"-max-regress", "50"},
+			exit: 1, stderr: "benchmark disappeared: BenchmarkX",
+		},
+		{
+			name: "baseline without the metric never pinned it",
+			old:  `[{"name":"BenchmarkX","runs":1,"metrics":{"B/op":4}}]`,
+			cur:  `[]`,
+			exit: 0,
+		},
+		{
+			name: "new-only benchmarks do not gate",
+			old:  `[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":10}}]`,
+			cur:  `[{"name":"BenchmarkX","runs":1,"metrics":{"ns/op":10}},{"name":"BenchmarkNew","runs":1,"metrics":{"ns/op":3}}]`,
+			exit: 0,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			o := write(t, dir, "old.json", tc.old)
+			n := write(t, dir, "new.json", tc.cur)
+			var out, errOut strings.Builder
+			code := run(append(tc.args, o, n), &out, &errOut)
+			if code != tc.exit {
+				t.Fatalf("exit %d, want %d; stderr: %s", code, tc.exit, errOut.String())
+			}
+			if tc.stderr != "" && !strings.Contains(errOut.String(), tc.stderr) {
+				t.Errorf("stderr %q does not contain %q", errOut.String(), tc.stderr)
+			}
+		})
 	}
 }
 
@@ -51,7 +128,8 @@ func TestBenchdiffGate(t *testing.T) {
 	o := write(t, dir, "old.json", oldJSON)
 	n := write(t, dir, "new.json", `[
  {"name":"BenchmarkA","runs":10,"metrics":{"ns/op":1600}},
- {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":2010}}
+ {"name":"BenchmarkB","runs":10,"metrics":{"ns/op":2010}},
+ {"name":"BenchmarkGone","runs":10,"metrics":{"ns/op":5}}
 ]`)
 	var out, errOut strings.Builder
 	if code := run([]string{"-max-regress", "50", o, n}, &out, &errOut); code != 1 {

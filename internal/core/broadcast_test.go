@@ -108,7 +108,7 @@ func TestMaxTargetsPrefix(t *testing.T) {
 // claiming and stealing.
 func TestStealClaimerExhaustive(t *testing.T) {
 	const n, workers = 1000, 16
-	c := newStealClaimer(n, workers)
+	c := newStealClaimer(0, n, workers)
 	var seen [n]atomic.Int32
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {

@@ -8,7 +8,10 @@ import (
 // claimer hands targeting positions to workers. Claim order is pure
 // scheduling — the merge loop commits outcomes in canonical permutation
 // order whatever the claimer does — so implementations only guarantee
-// that every position in [0, n) is handed out exactly once.
+// that every position in the run's [lo, hi) window is handed out exactly
+// once. The window is the whole targeted prefix for an ordinary run and
+// a sub-range of it for a shard (Options.ShardLo/ShardHi); striping and
+// stealing never leave the window.
 type claimer interface {
 	// claim returns the next position for worker self, or ok=false when
 	// no work remains anywhere.
@@ -18,31 +21,32 @@ type claimer interface {
 }
 
 // counterClaimer is the stock monotone claim counter: one shared atomic,
-// positions handed out globally in ascending order. Its claim order
-// tracks the commit cursor closely, which keeps the merge loop's reorder
-// buffer at O(workers).
+// positions handed out globally in ascending order from lo. Its claim
+// order tracks the commit cursor closely, which keeps the merge loop's
+// reorder buffer at O(workers).
 type counterClaimer struct {
-	next atomic.Int64
-	n    int
+	next   atomic.Int64
+	lo, hi int
 }
 
-func newCounterClaimer(n int) *counterClaimer { return &counterClaimer{n: n} }
+func newCounterClaimer(lo, hi int) *counterClaimer { return &counterClaimer{lo: lo, hi: hi} }
 
 func (c *counterClaimer) claim(int) (int, bool) {
-	p := int(c.next.Add(1)) - 1
-	return p, p < c.n
+	p := c.lo + int(c.next.Add(1)) - 1
+	return p, p < c.hi
 }
 
 func (c *counterClaimer) steals() int64 { return 0 }
 
 // stealClaimer gives every worker a private striped position range —
-// worker k starts on positions k, k+W, k+2W, … — and lets a worker whose
-// range ran dry steal the back half of the largest remaining range. The
-// stripes keep every worker's claims interleaved around the commit
-// cursor (a contiguous split would park worker W-1's outcomes in the
-// reorder buffer until the whole front of the universe committed), while
-// the private ranges remove the shared counter from the claim fast path
-// and keep each worker walking adjacent faults of its own stripe.
+// worker k starts on positions lo+k, lo+k+W, lo+k+2W, … — and lets a
+// worker whose range ran dry steal the back half of the largest
+// remaining range. The stripes keep every worker's claims interleaved
+// around the commit cursor (a contiguous split would park worker W-1's
+// outcomes in the reorder buffer until the whole front of the window
+// committed), while the private ranges remove the shared counter from
+// the claim fast path and keep each worker walking adjacent faults of
+// its own stripe.
 type stealClaimer struct {
 	stride int
 	ranges []stripe
@@ -65,11 +69,11 @@ func (s *stripe) remaining(stride int) int {
 	return (s.end - s.next + stride - 1) / stride
 }
 
-// newStealClaimer stripes [0, n) across the workers.
-func newStealClaimer(n, workers int) *stealClaimer {
+// newStealClaimer stripes [lo, hi) across the workers.
+func newStealClaimer(lo, hi, workers int) *stealClaimer {
 	c := &stealClaimer{stride: workers, ranges: make([]stripe, workers)}
 	for i := range c.ranges {
-		c.ranges[i] = stripe{next: i, end: n}
+		c.ranges[i] = stripe{next: lo + i, end: hi}
 	}
 	return c
 }

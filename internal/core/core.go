@@ -170,6 +170,32 @@ type Options struct {
 	// cancellation — which makes budgeted runs on industrial-scale
 	// circuits reproducible.
 	MaxTargets int
+	// ShardLo and ShardHi restrict the run to targeting positions
+	// [ShardLo, ShardHi) of the ordering permutation: claiming, striping
+	// and stealing stay inside the window and every position outside it
+	// is left as preloaded (Pending by default). ShardHi == 0 means the
+	// end of the targeted prefix, so the zero values keep the ordinary
+	// whole-universe run; both bounds are clamped to the prefix. A
+	// mid-universe shard almost always wants DeferCredit too — the in-run
+	// credit of positions [0, ShardLo) is unknowable here — which is why
+	// the public façade couples the two.
+	ShardLo, ShardHi int
+	// DeferCredit turns off the merge loop's in-run simulation credit:
+	// every position in the window is explicitly processed, each
+	// committed sequence records its complete detection set
+	// (TestSequence.Detects, exactly as under Compact), and no fault is
+	// ever classified TestedBySim during the run. A later merge across
+	// shard windows replays the credit chronology from the recorded sets
+	// and reproduces the ordinary run bit for bit; see pkg/atpg
+	// MergeResults. The advisory broadcast is forced off (its skips
+	// assume in-run credit) and Compact is rejected (compaction needs the
+	// in-run chronology).
+	DeferCredit bool
+	// Preload seeds the authoritative status array before the run with
+	// the committed statuses of a checkpoint being resumed; positions the
+	// run's window covers are then typically all Pending. Its length must
+	// be zero (no preload) or the fault-universe size.
+	Preload []Status
 	// Compact records the full detection set of every generated sequence
 	// (TestSequence.Detects) and the generation order (Summary.SeqOrder)
 	// so that internal/compact can drop and splice sequences after the
@@ -287,6 +313,18 @@ type Summary struct {
 	// generation (commit) order; test-set compaction replays it in
 	// reverse.
 	SeqOrder []int
+	// Lo, Hi and Cursor expose the run's committed-prefix window:
+	// targeting positions [Lo, Hi) were in range and [Lo, Cursor) are
+	// committed. Cursor is the next position the merge loop would have
+	// committed — Hi for a complete run, less for a cancelled one — and
+	// is what a checkpoint resumes from: the chronology up to Cursor is
+	// final and bit-identical to the same prefix of an uninterrupted run.
+	Lo, Hi, Cursor int
+	// Perm is the slice of the targeting permutation covering [Lo, Hi)
+	// (the fault index at each window position), recorded only under
+	// Options.DeferCredit so a partial shard result carries enough to be
+	// merged without recomputing the ordering.
+	Perm []int
 	// Compaction is filled by internal/compact when the test set was
 	// compacted; nil otherwise.
 	Compaction *CompactionStats
@@ -348,6 +386,17 @@ func New(c *netlist.Circuit, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: negative VariationBudget %d", opts.VariationBudget)
 	case opts.MaxTargets < 0:
 		return nil, fmt.Errorf("core: negative MaxTargets %d", opts.MaxTargets)
+	case opts.ShardLo < 0:
+		return nil, fmt.Errorf("core: negative ShardLo %d", opts.ShardLo)
+	case opts.ShardHi < 0:
+		return nil, fmt.Errorf("core: negative ShardHi %d", opts.ShardHi)
+	case opts.ShardHi > 0 && opts.ShardLo > opts.ShardHi:
+		return nil, fmt.Errorf("core: shard window [%d,%d) is inverted", opts.ShardLo, opts.ShardHi)
+	case opts.DeferCredit && opts.Compact:
+		return nil, fmt.Errorf("core: DeferCredit is incompatible with Compact (compaction needs the in-run credit chronology)")
+	}
+	if n := len(opts.Preload); n != 0 && n != 2*len(c.Lines()) {
+		return nil, fmt.Errorf("core: Preload holds %d statuses, fault universe has %d", n, 2*len(c.Lines()))
 	}
 	conePolicy, err := sim.ParseConePolicy(opts.ConeSets)
 	if err != nil {
@@ -451,31 +500,58 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 	}
 
 	// nEff is the targeted prefix of the permutation: all of it, or the
-	// first MaxTargets positions of a budgeted run.
+	// first MaxTargets positions of a budgeted run. The run's window
+	// [lo, hi) is that whole prefix, or the shard sub-range clamped to
+	// it.
 	nEff := n
 	if e.opts.MaxTargets > 0 && e.opts.MaxTargets < n {
 		nEff = e.opts.MaxTargets
+	}
+	lo, hi := e.opts.ShardLo, nEff
+	if e.opts.ShardHi > 0 && e.opts.ShardHi < nEff {
+		hi = e.opts.ShardHi
+	}
+	if lo > hi {
+		lo = hi
+	}
+	sum.Lo, sum.Hi = lo, hi
+	if e.opts.DeferCredit {
+		// Natural order has no materialized permutation (nil means
+		// identity); a shard result still records its window's slice.
+		sum.Perm = make([]int, hi-lo)
+		for i := range sum.Perm {
+			sum.Perm[i] = lo + i
+			if perm != nil {
+				sum.Perm[i] = perm[lo+i]
+			}
+		}
 	}
 
 	// status is written only by the merge loop; workers read it to skip
 	// faults that are already classified (a racy read can only cause a
 	// harmless speculative generation, never a wrong result, because the
-	// merge loop re-checks before committing).
+	// merge loop re-checks before committing). A resumed run seeds it
+	// with the checkpoint's committed statuses.
 	status := make([]atomic.Uint32, n)
-	committed := nEff
-	if nEff > 0 {
+	for i, st := range e.opts.Preload {
+		if st != Pending {
+			status[i].Store(uint32(st))
+		}
+	}
+	committed := hi
+	if hi > lo {
 		workers := e.opts.workerCount()
-		if workers > nEff {
-			workers = nEff
+		if workers > hi-lo {
+			workers = hi - lo
 		}
 		var claims claimer
 		if e.opts.Steal {
-			claims = newStealClaimer(nEff, workers)
+			claims = newStealClaimer(lo, hi, workers)
 		} else {
-			claims = newCounterClaimer(nEff)
+			claims = newCounterClaimer(lo, hi)
 		}
 		var bcast *broadcast
-		if e.opts.Broadcast {
+		if e.opts.Broadcast && !e.opts.DeferCredit {
 			bcast = newBroadcast(n)
 		}
 		rs := &runState{
@@ -494,7 +570,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 				e.newWorker().run(ctx, rs, self)
 			}(i)
 		}
-		committed = e.merge(ctx, sum, rs, nEff)
+		committed = e.merge(ctx, sum, rs, lo, hi)
 		wg.Wait()
 		sum.Steals = int(claims.steals())
 		if bcast != nil {
@@ -502,6 +578,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 			sum.BroadcastMisses = int(bcast.misses.Load())
 		}
 	}
+	sum.Cursor = committed
 
 	for i := range all {
 		st := Status(status[i].Load())
@@ -519,7 +596,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 		}
 	}
 	sum.Runtime = time.Since(start)
-	if committed < nEff {
+	if committed < hi {
 		// Only a done context makes the merge loop stop short.
 		return sum, ctx.Err()
 	}
@@ -527,24 +604,26 @@ func (e *Engine) RunContext(ctx context.Context) (*Summary, error) {
 }
 
 // merge commits worker outcomes strictly in targeting order (positions
-// in the ordering permutation; fault order when perm is nil) and returns
-// how many positions it committed. Out-of-order arrivals wait in a
-// reorder buffer; a committed Tested outcome applies its simulation
-// credit to every still-pending fault, and an outcome for a fault that
-// an earlier commit credited is discarded, exactly reproducing the
-// serial processing order. An advisory skip (broadcast) whose fault is
-// still pending at its commit turn is a mis-speculation: the loop
-// regenerates it inline on a lazily created worker, producing bit for
-// bit the outcome the skipping worker would have — process is a pure
-// function of the fault index — so the commit chronology never deviates
-// from the broadcast-free run. Options.OnEvent observes every commit in
-// that order. A done context stops the loop before the next commit.
-func (e *Engine) merge(ctx context.Context, sum *Summary, rs *runState, n int) int {
+// in the ordering permutation; fault order when perm is nil) over the
+// window [lo, hi) and returns the final cursor — the next position it
+// would have committed. Out-of-order arrivals wait in a reorder buffer;
+// a committed Tested outcome applies its simulation credit to every
+// still-pending fault (unless Options.DeferCredit moves that replay to
+// merge time across shards), and an outcome for a fault that an earlier
+// commit credited is discarded, exactly reproducing the serial
+// processing order. An advisory skip (broadcast) whose fault is still
+// pending at its commit turn is a mis-speculation: the loop regenerates
+// it inline on a lazily created worker, producing bit for bit the
+// outcome the skipping worker would have — process is a pure function of
+// the fault index — so the commit chronology never deviates from the
+// broadcast-free run. Options.OnEvent observes every commit in that
+// order. A done context stops the loop before the next commit.
+func (e *Engine) merge(ctx context.Context, sum *Summary, rs *runState, lo, hi int) int {
 	emit := e.opts.OnEvent
 	var mw *worker // lazy; only advisory mis-speculations need it
 	reorder := make(map[int]faultOutcome)
-	cursor := 0
-	for cursor < n {
+	cursor := lo
+	for cursor < hi {
 		var o faultOutcome
 		select {
 		case o = <-rs.results:
@@ -577,23 +656,25 @@ func (e *Engine) merge(ctx context.Context, sum *Summary, rs *runState, n int) i
 				rs.status[fi].Store(uint32(cur.status))
 				sum.ValidationFailures += cur.valFail
 				if emit != nil && cur.status != Pending {
-					emit(Event{Kind: EventFaultClassified, Index: fi, Fault: sum.Results[fi].Fault, Status: cur.status})
+					emit(Event{Kind: EventFaultClassified, Index: fi, Fault: sum.Results[fi].Fault, Status: cur.status, ValFail: cur.valFail})
 				}
 				if cur.status == Tested {
 					sum.Results[fi].Seq = cur.seq
 					sum.Patterns += cur.seq.Len()
 					sum.SeqOrder = append(sum.SeqOrder, fi)
-					if e.opts.Compact {
+					if e.opts.Compact || e.opts.DeferCredit {
 						cur.seq.Detects = cur.detected
 					}
 					if emit != nil {
 						emit(Event{Kind: EventSequenceGenerated, Index: fi, Fault: sum.Results[fi].Fault, Seq: cur.seq})
 					}
-					for _, f := range cur.detected {
-						if j, ok := e.index[f]; ok && Status(rs.status[j].Load()) == Pending {
-							rs.status[j].Store(uint32(TestedBySim))
-							if emit != nil {
-								emit(Event{Kind: EventCreditApplied, Index: j, Fault: f, Status: TestedBySim, By: sum.Results[fi].Fault, ByIndex: fi})
+					if !e.opts.DeferCredit {
+						for _, f := range cur.detected {
+							if j, ok := e.index[f]; ok && Status(rs.status[j].Load()) == Pending {
+								rs.status[j].Store(uint32(TestedBySim))
+								if emit != nil {
+									emit(Event{Kind: EventCreditApplied, Index: j, Fault: f, Status: TestedBySim, By: sum.Results[fi].Fault, ByIndex: fi})
+								}
 							}
 						}
 					}
@@ -601,7 +682,7 @@ func (e *Engine) merge(ctx context.Context, sum *Summary, rs *runState, n int) i
 			}
 			cursor++
 			if emit != nil {
-				ev := Event{Kind: EventProgress, Done: cursor, Total: n}
+				ev := Event{Kind: EventProgress, Done: cursor, Total: hi}
 				if rs.bcast != nil {
 					// Net useful skips: advisory skips minus the subset
 					// regenerated here.

@@ -36,6 +36,11 @@ type Event struct {
 	// Status is the committed classification (EventFaultClassified,
 	// EventCreditApplied).
 	Status Status
+	// ValFail is the number of candidate sequences the independent
+	// validator rejected while searching this fault
+	// (EventFaultClassified only); summing it over the stream yields
+	// Summary.ValidationFailures for the committed prefix.
+	ValFail int
 	// Seq is the committed sequence (EventSequenceGenerated only).
 	Seq *TestSequence
 	// By and ByIndex name the explicitly targeted fault whose sequence

@@ -202,11 +202,14 @@ func (w *worker) process(ctx context.Context, rs *runState, p, i int, advisory b
 		// only the status bookkeeping happens on the merge loop. The
 		// skip filter reads racy status snapshots purely to save
 		// work: the merge loop re-checks every detected fault. With
-		// Compact the filter is dropped so the recorded detection
-		// set is complete and independent of claim timing; that
-		// changes no credit decision, because a fault still pending
-		// at commit time was also pending at detect time and is in
-		// the filtered list either way. The advisory broadcast never
+		// Compact or DeferCredit the filter is dropped so the
+		// recorded detection set is complete and independent of
+		// claim timing; that changes no credit decision, because a
+		// fault still pending at commit time was also pending at
+		// detect time and is in the filtered list either way. The
+		// deferred-credit merge (pkg/atpg MergeResults) additionally
+		// needs the complete set because the globally-pending faults
+		// of other shards are unknowable here. The advisory broadcast never
 		// enters this filter: a broadcast-covered fault whose coverer is
 		// later discarded must still appear in detection lists, or its
 		// credit would depend on claim timing.
@@ -214,7 +217,7 @@ func (w *worker) process(ctx context.Context, rs *runState, p, i int, advisory b
 			j, ok := w.e.index[f]
 			return !ok || Status(rs.status[j].Load()) != Pending
 		}
-		if w.e.opts.Compact {
+		if w.e.opts.Compact || w.e.opts.DeferCredit {
 			skip = nil
 		}
 		ff := w.fastFrame(o.seq)

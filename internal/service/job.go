@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"sync"
 	"time"
@@ -29,6 +30,11 @@ type job struct {
 	timeout     time.Duration
 	events      *eventLog
 	created     time.Time
+	// resume, when non-nil, is the checkpoint this job continues from
+	// (validated at admission); resumedFrom names the job it came from
+	// when the resume endpoint created this one.
+	resume      *atpg.Checkpoint
+	resumedFrom string
 
 	mu        sync.Mutex
 	state     string
@@ -39,6 +45,11 @@ type job struct {
 	runtime   time.Duration
 	errMsg    string
 	finished  time.Time
+	// ckpt is the latest checkpoint snapshot (canonical JSON) and
+	// ckptCursor its committed-prefix cursor; refreshed periodically
+	// while the job runs and once more when it finishes.
+	ckpt       []byte
+	ckptCursor int
 }
 
 // JobStatus is the wire form of a job's state.
@@ -69,6 +80,13 @@ type JobStatus struct {
 	// HasResult tells whether GET /v1/jobs/{id}/result will serve a
 	// document.
 	HasResult bool `json:"has_result"`
+	// CheckpointCursor is the committed-prefix cursor of the latest
+	// checkpoint snapshot (GET /v1/jobs/{id}/checkpoint); zero when no
+	// snapshot exists yet.
+	CheckpointCursor int `json:"checkpoint_cursor,omitempty"`
+	// ResumedFrom names the job whose checkpoint this job resumed, when
+	// it was created by POST /v1/jobs/{id}/resume.
+	ResumedFrom string `json:"resumed_from,omitempty"`
 }
 
 // status snapshots the job for the API.
@@ -77,20 +95,22 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID:          j.id,
-		State:       j.state,
-		Circuit:     j.circuit.Name(),
-		CircuitHash: j.circuitHash,
-		Config:      j.cfg,
-		TimeoutMS:   j.timeout.Milliseconds(),
-		Done:        done,
-		Total:       total,
-		Events:      events,
-		Cached:      j.fromCache,
-		Cancelled:   j.cancelled,
-		Err:         j.errMsg,
-		RuntimeNS:   int64(j.runtime),
-		HasResult:   j.result != nil,
+		ID:               j.id,
+		State:            j.state,
+		Circuit:          j.circuit.Name(),
+		CircuitHash:      j.circuitHash,
+		Config:           j.cfg,
+		TimeoutMS:        j.timeout.Milliseconds(),
+		Done:             done,
+		Total:            total,
+		Events:           events,
+		Cached:           j.fromCache,
+		Cancelled:        j.cancelled,
+		Err:              j.errMsg,
+		RuntimeNS:        int64(j.runtime),
+		HasResult:        j.result != nil,
+		CheckpointCursor: j.ckptCursor,
+		ResumedFrom:      j.resumedFrom,
 	}
 }
 
@@ -172,4 +192,30 @@ func (j *job) resultBody() (body []byte, done bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.state == StateDone
+}
+
+// setCheckpoint publishes a checkpoint snapshot. Snapshots are
+// monotone — the committed prefix only grows — so a stale writer (the
+// periodic ticker racing the final post-run snapshot) never replaces a
+// newer one.
+func (j *job) setCheckpoint(ck *atpg.Checkpoint) {
+	var buf bytes.Buffer
+	if err := atpg.EncodeJSON(&buf, ck); err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ckpt != nil && ck.Cursor < j.ckptCursor {
+		return
+	}
+	j.ckpt = buf.Bytes()
+	j.ckptCursor = ck.Cursor
+}
+
+// checkpointBody returns the latest checkpoint snapshot, nil when none
+// was taken.
+func (j *job) checkpointBody() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ckpt
 }

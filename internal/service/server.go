@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -47,6 +48,11 @@ type Options struct {
 	// (defaults 256 and 64).
 	ResultCacheEntries  int
 	CircuitCacheEntries int
+	// CheckpointEvery is the period of the per-job checkpoint snapshots
+	// (default 250ms): how much committed work a killed daemon can lose
+	// at most. Snapshots are skipped for compacting jobs (compacted runs
+	// cannot be checkpointed).
+	CheckpointEvery time.Duration
 }
 
 // withDefaults resolves the zero fields.
@@ -81,6 +87,9 @@ func (o Options) withDefaults() Options {
 	if o.CircuitCacheEntries <= 0 {
 		o.CircuitCacheEntries = 64
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -107,6 +116,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -139,6 +150,11 @@ type SubmitRequest struct {
 	// TimeoutMS overrides the server's default per-job deadline, capped
 	// at its maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Checkpoint, when present, resumes a previous run from its
+	// committed prefix instead of starting fresh. The circuit source is
+	// still required and must match the checkpoint's content hash; the
+	// run configuration comes from the checkpoint (Config is ignored).
+	Checkpoint *atpg.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // errorJSON is every non-2xx body.
@@ -206,6 +222,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Checkpoint != nil {
+		// Resume-from-checkpoint submission: the configuration lives in
+		// the checkpoint, the circuit source above only re-establishes
+		// the netlist (and must hash to what the checkpoint expects —
+		// resumeJob verifies through atpg.Resume).
+		j, code, err := s.resumeJob(circuit, req.Checkpoint, req.TimeoutMS, "")
+		if err != nil {
+			writeError(w, code, "%v", err)
+			return
+		}
+		if err := s.sched.submit(j); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+
 	cfg, err := req.Config.Canonical()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -220,16 +254,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	timeout := s.opts.DefaultTimeout
-	switch {
-	case req.TimeoutMS < 0:
-		writeError(w, http.StatusBadRequest, "negative timeout_ms %d", req.TimeoutMS)
+	timeout, err := s.timeoutFor(req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
-	case req.TimeoutMS > 0:
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout > s.opts.MaxTimeout {
-			timeout = s.opts.MaxTimeout
-		}
 	}
 
 	j := &job{
@@ -250,6 +278,144 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// timeoutFor resolves a requested per-job deadline against the server's
+// default and cap.
+func (s *Server) timeoutFor(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("negative timeout_ms %d", ms)
+	}
+	timeout := s.opts.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	return timeout, nil
+}
+
+// resumeJob builds (but does not submit) a job continuing from a
+// checkpoint: the run configuration is decoded from the checkpoint's
+// config key, Workers re-clamped to this server's cap (the rewritten
+// key is what the job and its result echo), and the checkpoint fully
+// validated against the circuit via atpg.Resume. The error return
+// carries the HTTP status to report.
+func (s *Server) resumeJob(circuit *atpg.Circuit, ckpt *atpg.Checkpoint, timeoutMS int64, from string) (*job, int, error) {
+	timeout, err := s.timeoutFor(timeoutMS)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var cfg atpg.Config
+	if err := json.Unmarshal([]byte(ckpt.ConfigKey), &cfg); err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("corrupt checkpoint config key: %v", err)
+	}
+	cfg, err = cfg.Canonical()
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if cfg.Workers == 0 || cfg.Workers > s.opts.MaxWorkersPerJob {
+		cfg.Workers = s.opts.MaxWorkersPerJob
+	}
+	cfgKey, err := cfg.CacheKey()
+	if err != nil { // unreachable after Canonical; surfaced defensively
+		return nil, http.StatusBadRequest, err
+	}
+	ck := *ckpt
+	ck.ConfigKey = cfgKey
+	if _, err := atpg.Resume(circuit, &ck); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	j := &job{
+		id:          s.sched.newID(),
+		circuit:     circuit,
+		circuitHash: circuit.ContentHash(),
+		cfg:         cfg,
+		cacheKey:    circuit.ContentHash() + "\x00" + cfgKey,
+		timeout:     timeout,
+		events:      newEventLog(s.opts.MaxEventsPerJob),
+		created:     time.Now(),
+		state:       StateQueued,
+		resume:      &ck,
+		resumedFrom: from,
+	}
+	return j, 0, nil
+}
+
+// resumeRequest is the POST /v1/jobs/{id}/resume body. Both fields are
+// optional: with no checkpoint the job's own latest snapshot is used.
+type resumeRequest struct {
+	Checkpoint *atpg.Checkpoint `json:"checkpoint,omitempty"`
+	TimeoutMS  int64            `json:"timeout_ms,omitempty"`
+}
+
+// handleResume serves POST /v1/jobs/{id}/resume: create a new job that
+// continues the named job's run from a checkpoint — the one in the
+// request body, or the job's latest snapshot. The new job is an
+// ordinary job (own id, deadline, events, result); its status names the
+// origin in resumed_from.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.opts.MaxUploadBytes)
+		return
+	}
+	var req resumeRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	ckpt := req.Checkpoint
+	if ckpt == nil {
+		b := j.checkpointBody()
+		if b == nil {
+			writeError(w, http.StatusConflict, "job %s has no checkpoint snapshot to resume from", j.id)
+			return
+		}
+		ckpt = new(atpg.Checkpoint)
+		if err := json.Unmarshal(b, ckpt); err != nil { // unreachable: we encoded it
+			writeError(w, http.StatusInternalServerError, "corrupt stored checkpoint: %v", err)
+			return
+		}
+	}
+	nj, code, err := s.resumeJob(j.circuit, ckpt, req.TimeoutMS, j.id)
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	if err := s.sched.submit(nj); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, nj.status())
+}
+
+// handleCheckpoint serves GET /v1/jobs/{id}/checkpoint: the job's
+// latest checkpoint snapshot as canonical JSON, refreshed periodically
+// while the job runs and once more when it finishes.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	b := j.checkpointBody()
+	if b == nil {
+		writeError(w, http.StatusConflict, "job %s has no checkpoint snapshot yet", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
 // runJob executes one admitted job on a scheduler runner: serve from
 // the results cache when possible, otherwise run a session under the
 // job's own deadline (decoupled from any client connection) while
@@ -267,8 +433,14 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 	j.bindCancel(cancel)
 
-	ses, err := atpg.New(j.circuit, j.cfg)
-	if err != nil { // unreachable: config canonicalized at admission
+	var ses *atpg.Session
+	var err error
+	if j.resume != nil {
+		ses, err = atpg.Resume(j.circuit, j.resume)
+	} else {
+		ses, err = atpg.New(j.circuit, j.cfg)
+	}
+	if err != nil { // unreachable: config and checkpoint validated at admission
 		j.finish(nil, 0, err, false)
 		return
 	}
@@ -280,9 +452,42 @@ func (s *Server) runJob(j *job) {
 			j.events.append(ev)
 		}
 	}()
+	// Periodic checkpoint snapshots: a killed daemon loses at most
+	// CheckpointEvery of committed work. Compacting jobs cannot be
+	// checkpointed (Session.Checkpoint refuses).
+	snapStop := make(chan struct{})
+	snapDone := make(chan struct{})
+	if j.cfg.Compact {
+		close(snapDone)
+	} else {
+		go func() {
+			defer close(snapDone)
+			tick := time.NewTicker(s.opts.CheckpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-tick.C:
+					if ck, err := ses.Checkpoint(); err == nil {
+						j.setCheckpoint(ck)
+					}
+				}
+			}
+		}()
+	}
 	res, runErr := ses.Run(ctx)
 	cancel()
 	<-drained
+	close(snapStop)
+	<-snapDone
+	if !j.cfg.Compact {
+		// Final snapshot off the finished session: the complete result,
+		// or the committed prefix of a cancelled/timed-out run.
+		if ck, err := ses.Checkpoint(); err == nil {
+			j.setCheckpoint(ck)
+		}
+	}
 	if res == nil {
 		j.finish(nil, 0, runErr, false)
 		return

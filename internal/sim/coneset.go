@@ -94,6 +94,7 @@ type coneScratch struct {
 // coneSetsInit allocates the per-stem publication slots on first use.
 func (t *Topology) coneSetsInit() {
 	t.coneOnce.Do(func() {
+		t.coneSealed.Store(true)
 		t.coneSets = make([]atomic.Pointer[coneSet], t.NumNodes())
 		t.coneScratch = &sync.Pool{New: func() any {
 			return &coneScratch{mark: make([]int32, t.NumNodes())}
@@ -163,7 +164,7 @@ func (t *Topology) packConeSet(members []int32, gates int32) *coneSet {
 	}
 	denseWords := (t.NumNodes() + 63) / 64
 	useRuns := false
-	switch t.conePolicy {
+	switch t.ConePolicySelected() {
 	case ConeCompressed:
 		useRuns = true
 	case ConeAuto:
@@ -193,14 +194,17 @@ func (t *Topology) packConeSet(members []int32, gates int32) *coneSet {
 // called before the first InCone/ConeGates/ConeFootprint query (core
 // sets it at engine construction); changing the policy afterwards would
 // mix representations, so the call is ignored once any set was built.
+// Concurrent engines over one shared topology (the service's memoized
+// per-circuit topology) all set the same policy, so the atomic store is
+// what keeps the benign same-value write race-free.
 func (t *Topology) SetConePolicy(p ConePolicy) {
-	if t.coneSets == nil {
-		t.conePolicy = p
+	if !t.coneSealed.Load() {
+		t.conePolicy.Store(uint32(p))
 	}
 }
 
 // ConePolicySelected returns the active cone-set policy.
-func (t *Topology) ConePolicySelected() ConePolicy { return t.conePolicy }
+func (t *Topology) ConePolicySelected() ConePolicy { return ConePolicy(t.conePolicy.Load()) }
 
 // InCone reports whether node id lies in the fanout cone of src (src
 // itself included). Sets are built lazily per stem and shared.

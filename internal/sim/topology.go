@@ -53,7 +53,11 @@ type Topology struct {
 	// published set per node, dense or interval-compressed under
 	// conePolicy. Nothing here costs memory until InCone/ConeGates is
 	// asked.
-	conePolicy  ConePolicy
+	// conePolicy is atomic because concurrent engine constructions over
+	// one shared topology all (re)set it; coneSealed freezes it once the
+	// publication slots exist so a late set cannot mix representations.
+	conePolicy  atomic.Uint32 // ConePolicy
+	coneSealed  atomic.Bool
 	coneOnce    sync.Once
 	coneSets    []atomic.Pointer[coneSet]
 	coneScratch *sync.Pool

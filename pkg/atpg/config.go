@@ -122,6 +122,18 @@ type Config struct {
 	// unless an in-budget sequence credits it. The processed prefix is
 	// bit-identical to the same prefix of an unbudgeted run.
 	MaxTargets int `json:"max_targets,omitempty"`
+	// Shards, when positive, makes this run one shard of a distributed
+	// run split Shards ways over the targeting order; ShardIndex selects
+	// which contiguous window of positions this process works
+	// (0 <= ShardIndex < Shards). Shard runs defer all fault-simulation
+	// credit to MergeResults — each position in the window is explicitly
+	// processed and its full detection set recorded — so merging the
+	// shards reproduces the single-process canonical Result byte for
+	// byte. Shards is incompatible with Compact (compact the merged
+	// document instead).
+	Shards int `json:"shards,omitempty"`
+	// ShardIndex is this run's shard number; meaningful only with Shards.
+	ShardIndex int `json:"shard_index,omitempty"`
 }
 
 // Validate reports the first invalid field: an unknown algebra or order
@@ -145,6 +157,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("atpg: negative variation_budget %d", c.VariationBudget)
 	case c.MaxTargets < 0:
 		return fmt.Errorf("atpg: negative max_targets %d", c.MaxTargets)
+	case c.Shards < 0:
+		return fmt.Errorf("atpg: negative shards %d", c.Shards)
+	case c.ShardIndex < 0:
+		return fmt.Errorf("atpg: negative shard_index %d", c.ShardIndex)
+	case c.Shards == 0 && c.ShardIndex > 0:
+		return fmt.Errorf("atpg: shard_index %d without shards", c.ShardIndex)
+	case c.Shards > 0 && c.ShardIndex >= c.Shards:
+		return fmt.Errorf("atpg: shard_index %d out of range for %d shards", c.ShardIndex, c.Shards)
+	case c.Shards > 0 && c.Compact:
+		return fmt.Errorf("atpg: shards is incompatible with compact (compact the merged result instead)")
 	}
 	if _, err := sim.ParseConePolicy(c.ConeSets); err != nil {
 		return fmt.Errorf("atpg: %v", err)
@@ -212,6 +234,16 @@ func (c Config) CacheKey() (string, error) {
 	return string(b), nil
 }
 
+// runKey is the CacheKey with the shard selectors (Shards, ShardIndex)
+// additionally cleared: the identity of the distributed run every shard
+// belongs to. Shards of one run agree on their runKey and MergeResults
+// verifies that agreement (ShardInfo.ConfigKey) before merging.
+func (c Config) runKey() (string, error) {
+	c.Shards = 0
+	c.ShardIndex = 0
+	return c.CacheKey()
+}
+
 // algebra resolves the Algebra field.
 func (c Config) algebra() (*logic.Algebra, error) {
 	switch c.Algebra {
@@ -252,5 +284,6 @@ func (c Config) engineOptions() (core.Options, error) {
 		Steal:             c.Steal,
 		ConeSets:          c.ConeSets,
 		MaxTargets:        c.MaxTargets,
+		DeferCredit:       c.Shards > 0,
 	}, nil
 }

@@ -24,6 +24,11 @@
 //   - Result and Sequence have canonical, round-trippable JSON encodings
 //     (golden-pinned by the package tests) as the machine-readable
 //     interface; Result.WriteCSV keeps the legacy CSV shape.
+//   - Distributed runs: Config.Shards/ShardIndex run one window of the
+//     fault universe, MergeResults stitches the shard documents into a
+//     byte-identical whole; Session.Checkpoint, CheckpointOf and Resume
+//     make any run — sharded or not — resumable after interruption. See
+//     DESIGN.md §11 and cmd/atpgcoord.
 //
 // Determinism contract: for a given circuit and Config (Seed included),
 // Run produces a bit-identical Result and event stream at every worker

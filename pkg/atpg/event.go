@@ -62,7 +62,7 @@ func eventOf(c *netlist.Circuit, ev core.Event) Event {
 	case core.EventProgress:
 		return Event{Kind: EventProgress, Done: ev.Done, Total: ev.Total, Skipped: ev.Skipped, Stolen: ev.Stolen}
 	case core.EventSequenceGenerated:
-		return Event{Kind: EventSequenceGenerated, Fault: ev.Fault.Name(c), Seq: sequenceOf(c, ev.Seq)}
+		return Event{Kind: EventSequenceGenerated, Fault: ev.Fault.Name(c), Seq: sequenceOf(c, ev.Seq, nil)}
 	case core.EventCreditApplied:
 		return Event{Kind: EventCreditApplied, Fault: ev.Fault.Name(c), Status: StatusTestedBySim, By: ev.By.Name(c)}
 	default:

@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"fogbuster/internal/core"
+	"fogbuster/internal/faults"
 	"fogbuster/internal/netlist"
 	"fogbuster/internal/sim"
 )
@@ -98,6 +100,13 @@ type Sequence struct {
 	// was spliced after; it is valid only applied immediately after that
 	// test.
 	Follows string `json:"follows,omitempty"`
+	// Detects lists the canonical fault indices this sequence detects
+	// under the engine's concrete fill, sorted ascending. It is recorded
+	// only in the partial Result of a shard run (Config.Shards), where
+	// fault-simulation credit is deferred to MergeResults; the merged
+	// document strips it, so unsharded and merged canonical JSON stay
+	// byte-identical.
+	Detects []int `json:"detects,omitempty"`
 }
 
 // Len returns the vector count of the sequence (initialization and
@@ -158,6 +167,11 @@ type Result struct {
 	// ValidationFailures counts generated sequences the independent
 	// checker rejected; it must be zero and exists as a self-check.
 	ValidationFailures int `json:"validation_failures,omitempty"`
+	// Cursor is the committed-prefix cursor of an interrupted run: the
+	// next targeting position the merge loop would have committed.
+	// Present only when Err is set (a complete run's cursor is implied by
+	// its window); Resume continues a run from here.
+	Cursor int `json:"cursor,omitempty"`
 	// BroadcastSkips, BroadcastMisses and Steals are the scale-out
 	// scheduling counters (Config.Broadcast, Config.Steal). Like Runtime
 	// they vary run to run, but unlike Runtime they are excluded from the
@@ -166,6 +180,11 @@ type Result struct {
 	BroadcastSkips  int `json:"-"`
 	BroadcastMisses int `json:"-"`
 	Steals          int `json:"-"`
+	// Shard describes the window of the targeting order this partial
+	// Result covers when the run was one shard of a distributed run
+	// (Config.Shards); nil for an ordinary run. MergeResults consumes it
+	// and the merged document omits it.
+	Shard *ShardInfo `json:"shard,omitempty"`
 	// Faults is the per-fault classification in the canonical fault
 	// order of the circuit.
 	Faults []FaultResult `json:"faults"`
@@ -292,8 +311,9 @@ func frameStrings(frames [][]sim.V3) []string {
 }
 
 // sequenceOf converts an engine sequence, resolving names against the
-// circuit.
-func sequenceOf(c *netlist.Circuit, t *core.TestSequence) *Sequence {
+// circuit. detectIdx, when non-nil, maps faults to canonical indices so
+// the recorded detection set of a shard run survives into the JSON.
+func sequenceOf(c *netlist.Circuit, t *core.TestSequence, detectIdx map[faults.Delay]int) *Sequence {
 	s := &Sequence{
 		Fault:      t.Fault.Name(c),
 		Sync:       frameStrings(t.Sync),
@@ -309,6 +329,15 @@ func sequenceOf(c *netlist.Circuit, t *core.TestSequence) *Sequence {
 	}
 	if t.Follows != nil {
 		s.Follows = t.Follows.Name(c)
+	}
+	if detectIdx != nil && len(t.Detects) > 0 {
+		s.Detects = make([]int, 0, len(t.Detects))
+		for _, f := range t.Detects {
+			if i, ok := detectIdx[f]; ok {
+				s.Detects = append(s.Detects, i)
+			}
+		}
+		sort.Ints(s.Detects)
 	}
 	return s
 }
@@ -334,15 +363,36 @@ func resultOf(c *netlist.Circuit, cfg Config, sum *core.Summary, runErr error) *
 		Faults:             make([]FaultResult, len(sum.Results)),
 		Err:                runErr,
 	}
+	var detectIdx map[faults.Delay]int
+	if cfg.Shards > 0 {
+		detectIdx = make(map[faults.Delay]int, len(sum.Results))
+		for i, fr := range sum.Results {
+			detectIdx[fr.Fault] = i
+		}
+	}
 	for i, fr := range sum.Results {
 		out := FaultResult{Fault: fr.Fault.Name(c), Status: statusOf(fr.Status)}
 		if fr.Seq != nil {
-			out.Seq = sequenceOf(c, fr.Seq)
+			out.Seq = sequenceOf(c, fr.Seq, detectIdx)
 		}
 		if out.Status == StatusPending {
 			r.Pending++
 		}
 		r.Faults[i] = out
+	}
+	if runErr != nil {
+		r.Cursor = sum.Cursor
+	}
+	if cfg.Shards > 0 {
+		total := effTargets(len(sum.Results), cfg)
+		lo, hi := shardRange(total, cfg.Shards, cfg.ShardIndex)
+		key, _ := cfg.runKey() // cfg was validated when the session was built
+		r.Shard = &ShardInfo{
+			Shards: cfg.Shards, Index: cfg.ShardIndex,
+			Lo: lo, Hi: hi, Total: total, Cursor: sum.Cursor,
+			ConfigKey: key,
+			Positions: append([]int(nil), sum.Perm[:sum.Cursor-sum.Lo]...),
+		}
 	}
 	if sum.Compaction != nil {
 		st := sum.Compaction

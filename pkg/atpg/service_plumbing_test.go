@@ -2,24 +2,45 @@ package atpg
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 )
 
-// TestReadBench: the io.Reader constructor parses wire-delivered
-// netlists, names the circuit, and reports malformed input as errors.
+// TestReadBench drives the io.Reader constructor with the real
+// ISCAS'89 s27 distribution file in testdata — header comments, blank
+// lines, alignment spaces and all — and requires the parsed circuit to
+// be content-identical to the embedded benchmark: same hash, and a full
+// Session.Run byte-identical to the built-in circuit's. Malformed input
+// must still error.
 func TestReadBench(t *testing.T) {
-	src := "INPUT(A)\nINPUT(B)\nOUTPUT(C)\nC = NAND(A, B)\n"
-	c, err := ReadBench("wire", strings.NewReader(src))
+	f, err := os.Open(filepath.Join("testdata", "s27.bench"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Name() != "wire" {
-		t.Fatalf("name = %q, want wire", c.Name())
+	defer f.Close()
+	c, err := ReadBench("s27", f)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if c.Faults() == 0 {
-		t.Fatal("no faults in parsed circuit")
+	if c.Name() != "s27" {
+		t.Fatalf("name = %q, want s27", c.Name())
+	}
+	if c.Faults() != 50 {
+		t.Fatalf("s27 has %d delay faults, want 50", c.Faults())
+	}
+	builtin, err := Benchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ContentHash() != builtin.ContentHash() {
+		t.Fatal("distribution-format s27 hashes differently from the embedded benchmark")
+	}
+	cfg := Config{Seed: 42}
+	if got, want := canonicalBytes(t, mustRunTest(t, c, cfg)), canonicalBytes(t, mustRunTest(t, builtin, cfg)); got != want {
+		t.Fatal("run over the testdata circuit diverged from the embedded benchmark")
 	}
 	if _, err := ReadBench("bad", strings.NewReader("C = FROB(A)\n")); err == nil {
 		t.Fatal("malformed netlist accepted")

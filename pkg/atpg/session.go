@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"fogbuster/internal/compact"
@@ -38,16 +39,36 @@ type Session struct {
 	// start of Run, before any event can fire, and read only from the
 	// merge loop (the Run goroutine).
 	ctx context.Context
+
+	// prefix is the committed prefix of the checkpoint a resumed session
+	// continues from (nil for a fresh run); Run and Checkpoint stitch it
+	// into their Results.
+	track *tracker // live checkpoint state; nil under Config.Compact
+	// startCursor is the targeting position the engine starts at: the
+	// shard window's Lo, the checkpoint's cursor on resume, 0 otherwise.
+	startCursor int
+	prefix      *Result
+
+	mu    sync.Mutex
+	final *Result // the Result Run returned, once it has
 }
 
 // New validates the configuration and prepares a session for the
 // circuit. All configuration mistakes — unknown algebra or order names,
 // negative budgets — surface here as errors; nothing in the public API
-// panics on bad input.
+// panics on bad input. When Config.Shards is set the session runs one
+// shard of a distributed run (see MergeResults); Resume builds sessions
+// that continue from a Checkpoint.
 func New(c *Circuit, cfg Config) (*Session, error) {
 	if c == nil || c.c == nil {
 		return nil, errors.New("atpg: nil circuit")
 	}
+	return newSession(c, cfg, nil)
+}
+
+// newSession is the shared constructor behind New and Resume; ckpt,
+// when non-nil, is a validated checkpoint the session continues from.
+func newSession(c *Circuit, cfg Config, ckpt *Checkpoint) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +77,22 @@ func New(c *Circuit, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{circuit: c, cfg: cfg}
+	if cfg.Shards > 0 {
+		lo, hi := shardRange(effTargets(c.Faults(), cfg), cfg.Shards, cfg.ShardIndex)
+		opts.ShardLo, opts.ShardHi = lo, hi
+		s.startCursor = lo
+	}
+	if ckpt != nil {
+		// The prefix [0 or shard Lo, cursor) is committed: preload its
+		// statuses and start the engine window at the cursor.
+		opts.ShardLo = ckpt.Cursor
+		opts.Preload = preloadOf(ckpt.Result)
+		s.startCursor = ckpt.Cursor
+		s.prefix = ckpt.Result
+	}
+	if !cfg.Compact {
+		s.track = newTracker(c, cfg)
+	}
 	opts.OnEvent = s.emit
 	// Reuse the circuit's memoized topology so concurrent sessions over
 	// one Circuit share a single levelized CSR view and cone sets.
@@ -123,6 +160,9 @@ func (s *Session) DroppedEvents() int64 { return s.dropped.Load() }
 // consumer it returns before converting (name resolution and frame
 // strings would otherwise burn on every commit of a plain Run).
 func (s *Session) emit(ev core.Event) {
+	if s.track != nil {
+		s.track.observe(ev)
+	}
 	if s.onEvent == nil && s.events == nil {
 		return
 	}
@@ -194,5 +234,41 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	res := resultOf(s.circuit.c, s.cfg, sum, runErr)
+	if s.prefix != nil {
+		stitchPrefix(res, s.prefix)
+	}
+	s.mu.Lock()
+	s.final = res
+	s.mu.Unlock()
 	return res, runErr
+}
+
+// Checkpoint snapshots the run's committed prefix as a resumable
+// Checkpoint. It is safe to call from any goroutine at any time: before
+// Run (an empty prefix), concurrently with it (the prefix as of the
+// last committed position — never a torn, partially committed state),
+// or after it (the final Result, complete or cancelled). Compacted
+// sessions cannot be checkpointed.
+func (s *Session) Checkpoint() (*Checkpoint, error) {
+	if s.cfg.Compact {
+		return nil, errors.New("atpg: cannot checkpoint a compacting session (compaction rewrites committed sequences)")
+	}
+	s.mu.Lock()
+	final := s.final
+	s.mu.Unlock()
+	if final != nil {
+		return CheckpointOf(final, s.circuit.ContentHash(), s.cfg)
+	}
+	res := s.track.snapshot(s.startCursor)
+	if s.prefix != nil {
+		stitchPrefix(res, s.prefix)
+	}
+	key, err := s.cfg.CacheKey()
+	if err != nil {
+		return nil, err // unreachable: cfg was validated at session build
+	}
+	// snapshot records the live cursor on the Result directly; the
+	// inference CheckpointOf applies to finished Results does not see an
+	// in-flight one.
+	return &Checkpoint{CircuitHash: s.circuit.ContentHash(), ConfigKey: key, Cursor: res.Cursor, Result: res}, nil
 }
