@@ -93,6 +93,42 @@ func BenchmarkTable3Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerate isolates the generation-phase search — local
+// generation, propagation and synchronization with fault-simulation
+// credit disabled, so every fault is targeted explicitly. This is the
+// ~84% slice the word-parallel search (batched X-fill trials plus
+// decision probes, DESIGN.md §12) accelerates; BenchmarkTable3 keeps
+// measuring the full flow.
+func BenchmarkGenerate(b *testing.B) {
+	for _, name := range table3Set {
+		c := bench.ProfileByName(name).Circuit()
+		b.Run(name, func(b *testing.B) {
+			var tested int
+			for i := 0; i < b.N; i++ {
+				tested = core.MustNew(c, core.Options{DisableFaultSim: true}).Run().Tested
+			}
+			b.ReportMetric(float64(tested), "tested")
+		})
+	}
+}
+
+// BenchmarkGenerateScalar is the reference-oracle row for
+// BenchmarkGenerate: the same generation-phase run on the scalar search
+// path (one X-fill completion and one probe lane at a time). The
+// results are bit-identical (TestBatchedSearchInvariance); the ratio of
+// the two benchmarks is the word-parallel speedup reported in
+// EXPERIMENTS.md.
+func BenchmarkGenerateScalar(b *testing.B) {
+	for _, name := range []string{"s298", "s386", "s641", "s1196"} {
+		c := bench.ProfileByName(name).Circuit()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustNew(c, core.Options{DisableFaultSim: true, ScalarSearch: true}).Run()
+			}
+		})
+	}
+}
+
 // BenchmarkGoodMachineSim measures the finite state machine model of
 // Figure 1: one full sequential frame (combinational block + state
 // register update) of the largest benchmark.

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,8 +27,9 @@ import (
 // config is the parsed command line, kept separate from main so tests
 // can pin that every flag reaches the service options.
 type config struct {
-	addr string
-	opts service.Options
+	addr      string
+	debugAddr string
+	opts      service.Options
 }
 
 // parseArgs parses the command line. Errors (including -h) are reported
@@ -37,6 +39,7 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("atpgd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fs.StringVar(&cfg.addr, "addr", "localhost:8347", "listen address (use :0 for an ephemeral port; the bound address is printed on startup)")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "serve net/http/pprof profiling endpoints on this separate address (default off; keep it loopback-only — the endpoints expose heap and goroutine dumps)")
 	fs.IntVar(&cfg.opts.MaxRunningJobs, "max-running", 0, "jobs executing concurrently (0 = service default)")
 	fs.IntVar(&cfg.opts.MaxQueue, "max-queue", 0, "bound on the pending-job queue; submissions beyond it get 503 (0 = service default)")
 	fs.IntVar(&cfg.opts.MaxWorkersPerJob, "max-workers", 0, "per-job clamp on Config.Workers (0 = all CPUs)")
@@ -59,23 +62,56 @@ func parseArgs(argv []string, stderr io.Writer) (*config, error) {
 // serving so tests (and scripts watching stdout) can learn the actual
 // address of an ephemeral-port listener before any request is made.
 type daemon struct {
-	svc *service.Server
-	srv *http.Server
-	ln  net.Listener
+	svc     *service.Server
+	srv     *http.Server
+	ln      net.Listener
+	debugLn net.Listener
 }
 
-// listen binds the address and builds the service.
+// listen binds the address and builds the service. With -debug-addr the
+// pprof endpoints get their own listener and mux, deliberately separate
+// from the API handler: the service mux stays free of profiling routes,
+// and the debug port can be kept loopback-only while the API is not.
 func (cfg *config) listen() (*daemon, error) {
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return nil, err
 	}
+	var debugLn net.Listener
+	if cfg.debugAddr != "" {
+		if debugLn, err = net.Listen("tcp", cfg.debugAddr); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	svc := service.New(cfg.opts)
-	return &daemon{svc: svc, srv: &http.Server{Handler: svc.Handler()}, ln: ln}, nil
+	return &daemon{svc: svc, srv: &http.Server{Handler: svc.Handler()}, ln: ln, debugLn: debugLn}, nil
+}
+
+// debugMux routes the standard net/http/pprof set: the index under
+// /debug/pprof/ plus the handlers (cmdline, profile, symbol, trace) the
+// index cannot reach through the runtime profile table.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // addr is the bound listen address ("127.0.0.1:43210" for :0 binds).
 func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// debugAddr is the bound -debug-addr listen address, or "" when the
+// profiling server is off.
+func (d *daemon) debugAddr() string {
+	if d.debugLn == nil {
+		return ""
+	}
+	return d.debugLn.Addr().String()
+}
 
 // run serves until ctx is cancelled, then shuts down gracefully:
 // in-flight HTTP exchanges get a drain window, and the service cancels
@@ -83,8 +119,16 @@ func (d *daemon) addr() string { return d.ln.Addr().String() }
 func (d *daemon) run(ctx context.Context) error {
 	errc := make(chan error, 1)
 	go func() { errc <- d.srv.Serve(d.ln) }()
+	var debugSrv *http.Server
+	if d.debugLn != nil {
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() { debugSrv.Serve(d.debugLn) }()
+	}
 	select {
 	case err := <-errc:
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
 		d.svc.Close()
 		return err
 	case <-ctx.Done():
@@ -92,6 +136,9 @@ func (d *daemon) run(ctx context.Context) error {
 	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err := d.srv.Shutdown(shCtx)
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
 	d.svc.Close()
 	return err
 }
@@ -110,6 +157,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("atpgd: listening on http://%s\n", d.addr())
+	if da := d.debugAddr(); da != "" {
+		fmt.Printf("atpgd: pprof on http://%s/debug/pprof/\n", da)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -35,6 +35,53 @@ func TestFlagsReachService(t *testing.T) {
 	}
 }
 
+// TestDebugAddrServesPprof pins the -debug-addr profiling server: off by
+// default, and when armed it serves the pprof index and goroutine dump
+// on its own listener while the API port stays free of /debug routes.
+func TestDebugAddrServesPprof(t *testing.T) {
+	var stderr bytes.Buffer
+	if cfg, err := parseArgs(nil, &stderr); err != nil || cfg.debugAddr != "" {
+		t.Fatalf("default debugAddr: %q (err %v)", cfg.debugAddr, err)
+	}
+	cfg, err := parseArgs([]string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cfg.listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- d.run(ctx) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	if d.debugAddr() == "" || d.debugAddr() == d.addr() {
+		t.Fatalf("debug listener not separate: api %q debug %q", d.addr(), d.debugAddr())
+	}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get("http://" + d.debugAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s returned %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get("http://" + d.addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("API listener serves /debug/pprof/ — profiling leaked onto the service port")
+	}
+}
+
 // TestDaemonServesJobLifecycle boots the daemon on an ephemeral port
 // and walks the full client flow — submit, poll, result — then shuts it
 // down gracefully.

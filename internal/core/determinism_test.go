@@ -215,3 +215,26 @@ func TestOrderingClassifiesEverything(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedSearchInvariance pins the generation-phase batching into
+// the determinism contract: the lane-parallel X-fill trials and
+// decision probes (the default) must produce a Summary bit-identical to
+// the scalar reference path (Options.ScalarSearch) — which enumerates
+// the identical fill lanes and probe frames one at a time — at every
+// worker count. Like ScalarCredit, the knob must be purely an execution
+// detail.
+func TestBatchedSearchInvariance(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		ref := summarize(MustNew(c, Options{ScalarSearch: true, Workers: 1}).Run())
+		for _, workers := range []int{1, 4, 16} {
+			if got := summarize(MustNew(c, Options{Workers: workers}).Run()); got != ref {
+				t.Errorf("%s: batched search (Workers=%d) diverged from the scalar reference:\n--- scalar\n%s--- batched\n%s",
+					name, workers, ref, got)
+			}
+		}
+		if got := summarize(MustNew(c, Options{ScalarSearch: true, Workers: 16}).Run()); got != ref {
+			t.Errorf("%s: scalar search itself is worker-count dependent", name)
+		}
+	}
+}

@@ -158,8 +158,9 @@ func (p *propSearch) step(f *propFrame, vals []sim.V5) stepKind {
 	c := p.e.net.C
 	if p.xPathToPO(vals) {
 		if pi, val := p.frontierObjective(f, vals); pi >= 0 {
-			f.decision = append(f.decision, propDecision{pi: pi, order: [2]sim.V5{val, invert5(val)}})
-			f.assign[pi] = val
+			order := p.probeOrder(f, pi, val)
+			f.decision = append(f.decision, propDecision{pi: pi, order: order})
+			f.assign[pi] = order[0]
 			f.dirty = append(f.dirty, pi)
 			return stepAssigned
 		}

@@ -1,0 +1,91 @@
+package semilet
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/sim"
+)
+
+// probeStates enumerates the handed-over state vectors the probe test
+// drives through Propagate: a lone effect per FF position, with the
+// remaining registers all-unknown or alternating known values (the
+// side-value situations that force frontier decisions).
+func probeStates(nFF int) [][]sim.V5 {
+	var out [][]sim.V5
+	for ffIdx := 0; ffIdx < nFF; ffIdx++ {
+		for _, dv := range []sim.V5{sim.D5, sim.B5} {
+			allX := make([]sim.V5, nFF)
+			known := make([]sim.V5, nFF)
+			for i := range allX {
+				allX[i] = sim.X5
+				if i%2 == 0 {
+					known[i] = sim.Z5
+				} else {
+					known[i] = sim.O5
+				}
+			}
+			allX[ffIdx] = dv
+			known[ffIdx] = dv
+			out = append(out, allX, known)
+		}
+	}
+	return out
+}
+
+// TestProbeScalarMatchesBatched is the differential property test of the
+// propagation-phase decision probe: with probing armed, the batched
+// two-valued lane scoring and the per-lane scalar three-valued oracle
+// must drive byte-identical searches — same status, same vectors, same
+// budget use — because the sampled lane words are shared and a
+// two-valued lane equals a three-valued walk of its binary frame.
+func TestProbeScalarMatchesBatched(t *testing.T) {
+	for _, name := range []string{"s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		eB := NewEngine(sim.NewNet(c), Options{})
+		eS := NewEngine(sim.NewNet(c), Options{})
+		for si, state := range probeStates(len(c.DFFs)) {
+			seed := int64(si)*998244353 + 11
+			eB.SetProbe(seed, false)
+			eS.SetProbe(seed, true)
+			bB, bS := NewBudget(100), NewBudget(100)
+			rB, stB := eB.Propagate(append([]sim.V5(nil), state...), bB)
+			rS, stS := eS.Propagate(append([]sim.V5(nil), state...), bS)
+			if stB != stS || bB.Used != bS.Used {
+				t.Fatalf("%s state %d: batched (%v, %d backtracks), scalar (%v, %d)",
+					name, si, stB, bB.Used, stS, bS.Used)
+			}
+			if stB != Success {
+				continue
+			}
+			if rB.PO != rS.PO || len(rB.Vectors) != len(rS.Vectors) {
+				t.Fatalf("%s state %d: PO %d/%d, frames %d/%d",
+					name, si, rB.PO, rS.PO, len(rB.Vectors), len(rS.Vectors))
+			}
+			for fi := range rB.Vectors {
+				for i := range rB.Vectors[fi] {
+					if rB.Vectors[fi][i] != rS.Vectors[fi][i] {
+						t.Fatalf("%s state %d frame %d PI %d: batched %v, scalar %v",
+							name, si, fi, i, rB.Vectors[fi][i], rS.Vectors[fi][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeOffIsStatic pins that an engine without SetProbe never
+// probes, keeping the exact pre-probe search.
+func TestProbeOffIsStatic(t *testing.T) {
+	c := bench.ProfileByName("s298").Circuit()
+	e := NewEngine(sim.NewNet(c), Options{})
+	state := make([]sim.V5, len(c.DFFs))
+	for i := range state {
+		state[i] = sim.X5
+	}
+	state[0] = sim.D5
+	e.Propagate(state, NewBudget(100))
+	if e.probe || e.probeEvents != 0 {
+		t.Fatal("unarmed engine probed")
+	}
+}

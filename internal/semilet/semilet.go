@@ -89,6 +89,13 @@ type Engine struct {
 	net  *sim.Net
 	meas *testability.Measures
 	opts Options
+
+	// Decision-probe state, armed per fault via SetProbe.
+	probe       bool
+	scalarProbe bool
+	probeSeed   int64
+	probeEvents int
+	psc         *probeScratch
 }
 
 // NewEngine builds an engine for the circuit.

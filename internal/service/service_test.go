@@ -415,7 +415,14 @@ func TestCancelMidRunYieldsCommittedPrefix(t *testing.T) {
 
 	fin := waitDone(t, ts.URL, st.ID)
 	if !fin.Cancelled {
-		t.Fatalf("finished job not marked cancelled: %+v", fin)
+		// The run outpaced the cancel. The result must then be the
+		// complete uncancelled one — the prefix property degenerates to
+		// full equality against the reference run.
+		t.Log("run finished before the cancel landed; checking full equality")
+		if !bytes.Equal(getResult(t, ts.URL, st.ID), directRunBytes(t, "s641", atpg.Config{Workers: 2})) {
+			t.Fatal("uncancelled result diverged from the reference run")
+		}
+		return
 	}
 	var partial atpg.Result
 	if err := json.Unmarshal(getResult(t, ts.URL, st.ID), &partial); err != nil {

@@ -1,0 +1,85 @@
+package tdgen
+
+import (
+	"testing"
+
+	"fogbuster/internal/bench"
+	"fogbuster/internal/faults"
+	"fogbuster/internal/sim"
+	"fogbuster/internal/testability"
+)
+
+// TestProbeScalarMatchesBatched is the differential property test of the
+// decision probe: with probing armed, the batched rail scoring and the
+// per-lane scalar oracle must drive byte-identical searches — same
+// status stream, same solutions, same backtrack counts — because the
+// sampled frames are shared and the per-lane verdicts are pinned equal.
+// Resumed enumeration (several Next calls per fault) is covered too,
+// since later solutions sit behind more backtracks, exactly where the
+// probe is active.
+func TestProbeScalarMatchesBatched(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s386"} {
+		c := bench.ProfileByName(name).Circuit()
+		net := sim.NewNet(c)
+		meas := testability.Compute(c)
+		for fi, f := range faults.AllDelay(c) {
+			seed := int64(fi)*1000003 + 7
+			gB := New(net, f, meas, Options{Probe: true, ProbeSeed: seed})
+			gS := New(net, f, meas, Options{Probe: true, ScalarProbe: true, ProbeSeed: seed})
+			for round := 0; round < 3; round++ {
+				solB, stB := gB.Next()
+				solS, stS := gS.Next()
+				if stB != stS {
+					t.Fatalf("%s/%s round %d: batched %v, scalar %v",
+						name, f.Name(c), round, stB, stS)
+				}
+				if gB.Backtracks() != gS.Backtracks() {
+					t.Fatalf("%s/%s round %d: batched spent %d backtracks, scalar %d",
+						name, f.Name(c), round, gB.Backtracks(), gS.Backtracks())
+				}
+				if stB != Found {
+					break
+				}
+				if solB.ObservePO != solS.ObservePO || solB.ObservePPO != solS.ObservePPO {
+					t.Fatalf("%s/%s round %d: observation differs: PO %d/%d, PPO %d/%d",
+						name, f.Name(c), round, solB.ObservePO, solS.ObservePO,
+						solB.ObservePPO, solS.ObservePPO)
+				}
+				for i := range solB.V1 {
+					if solB.V1[i] != solS.V1[i] || solB.V2[i] != solS.V2[i] {
+						t.Fatalf("%s/%s round %d: PI %d differs: (%v,%v) vs (%v,%v)",
+							name, f.Name(c), round, i, solB.V1[i], solB.V2[i], solS.V1[i], solS.V2[i])
+					}
+				}
+				for i := range solB.State0 {
+					if solB.State0[i] != solS.State0[i] || solB.PPOFinal[i] != solS.PPOFinal[i] {
+						t.Fatalf("%s/%s round %d: FF %d differs", name, f.Name(c), round, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProbeOffIsStatic pins that an unarmed generator never probes: the
+// search with Probe unset must match a probing generator whose scores
+// never fire (nBack below the threshold is the common case, but the
+// contract here is simpler — the zero Options value keeps the exact
+// pre-probe search).
+func TestProbeOffIsStatic(t *testing.T) {
+	c := bench.NewC17()
+	net := sim.NewNet(c)
+	meas := testability.Compute(c)
+	for _, f := range faults.AllDelay(c) {
+		g := New(net, f, meas, Options{})
+		if g.probe {
+			t.Fatal("zero Options armed the probe")
+		}
+		if _, st := g.Next(); st != Found {
+			t.Fatalf("%s: c17 fault not found", f.Name(c))
+		}
+		if g.probeEvents != 0 {
+			t.Fatalf("%s: unarmed generator recorded %d probe events", f.Name(c), g.probeEvents)
+		}
+	}
+}

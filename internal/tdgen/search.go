@@ -42,7 +42,7 @@ func (g *Generator) Next() (*Solution, Status) {
 				// Everything relevant assigned without success.
 				ok = false
 			} else {
-				g.push(node, options)
+				g.push(node, g.orderByProbe(node, options))
 				continue
 			}
 		}

@@ -58,6 +58,15 @@ type Options struct {
 	Algebra *logic.Algebra
 	// MaxBacktracks is the backtrack budget; 0 means the paper's 100.
 	MaxBacktracks int
+	// Probe enables decision probing: once the search has spent a few
+	// backtracks, each decision's option order is re-ranked by sampled
+	// lane-parallel simulation (see orderByProbe). ProbeSeed seeds the
+	// deterministic sampling; ScalarProbe switches the scoring to the
+	// per-lane scalar reference oracle, which computes bit-identical
+	// scores one frame at a time.
+	Probe       bool
+	ScalarProbe bool
+	ProbeSeed   int64
 }
 
 // Solution is one robust local test: the two PI vectors of the time-frame
@@ -106,6 +115,12 @@ type Generator struct {
 	started  bool
 	lastGood bool // last Next returned Found; resume must first backtrack
 	dead     bool // search exhausted or aborted
+
+	probe       bool
+	scalarProbe bool
+	probeSeed   int64
+	probeEvents int
+	ps          *probeScratch
 }
 
 // decision is one branch point of the search. For a primary input the
@@ -148,13 +163,16 @@ func New(net *sim.Net, f faults.Delay, meas *testability.Measures, opts Options)
 		maxBack = 100
 	}
 	g := &Generator{
-		net:     net,
-		alg:     alg,
-		fault:   f,
-		meas:    meas,
-		assign:  make([]logic.Set, len(c.Nodes)),
-		sets:    make([]logic.Set, len(c.Nodes)),
-		maxBack: maxBack,
+		net:         net,
+		alg:         alg,
+		fault:       f,
+		meas:        meas,
+		assign:      make([]logic.Set, len(c.Nodes)),
+		sets:        make([]logic.Set, len(c.Nodes)),
+		maxBack:     maxBack,
+		probe:       opts.Probe,
+		scalarProbe: opts.ScalarProbe,
+		probeSeed:   opts.ProbeSeed,
 	}
 	for _, pi := range c.PIs {
 		g.inputs = append(g.inputs, pi)

@@ -1,0 +1,88 @@
+package tdsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fogbuster/internal/faults"
+	"fogbuster/internal/logic"
+	"fogbuster/internal/sim"
+)
+
+// randomFillBatch builds 64 random fully specified lanes directly as
+// packed words, plus the scalar lane extractor.
+func randomFillBatch(nPI, nFF, propFrames int, rng *rand.Rand) *FillBatch {
+	words := func(n int) []sim.Word {
+		out := make([]sim.Word, n)
+		for i := range out {
+			out[i] = sim.Word(rng.Uint64())
+		}
+		return out
+	}
+	fb := &FillBatch{
+		V1: words(nPI), V2: words(nPI),
+		S0: words(nFF), S1: words(nFF),
+	}
+	for k := 0; k < propFrames; k++ {
+		fb.Prop = append(fb.Prop, words(nPI))
+	}
+	return fb
+}
+
+// laneFrame extracts lane k of a FillBatch as a scalar FastFrame.
+func laneFrame(fb *FillBatch, k uint) *FastFrame {
+	bits := func(w []sim.Word) []sim.V3 {
+		out := make([]sim.V3, len(w))
+		for i := range w {
+			out[i] = sim.V3(w[i] >> k & 1)
+		}
+		return out
+	}
+	ff := &FastFrame{V1: bits(fb.V1), V2: bits(fb.V2), S0: bits(fb.S0), S1: bits(fb.S1)}
+	for _, vec := range fb.Prop {
+		ff.Prop = append(ff.Prop, bits(vec))
+	}
+	return ff
+}
+
+// TestConfirmFillsMatchesScalar is the differential property test of the
+// lane-parallel X-fill confirmation: over random 64-lane fill batches on
+// every test circuit, bit k of ConfirmFills must equal the scalar
+// Confirm verdict on lane k's frame, for every delay fault of the
+// universe, under both algebras and both evaluation modes of the scalar
+// oracle. Any divergence is a bug in the rail encoding or the replay.
+func TestConfirmFillsMatchesScalar(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for _, c := range batchCircuits(t) {
+		net := sim.NewNet(c)
+		all := faults.AllDelay(c)
+		for _, alg := range []*logic.Algebra{logic.Robust, logic.NonRobust} {
+			td := New(net, alg)
+			goodS2 := make([]sim.V3, len(c.DFFs))
+			rng := rand.New(rand.NewSource(int64(len(all) + len(c.Nodes))))
+			for trial := 0; trial < trials; trial++ {
+				fb := randomFillBatch(len(c.PIs), len(c.DFFs), trial%4, rng)
+				step := 1 + len(all)/24 // sample the universe, keep runtime sane
+				for fi := 0; fi < len(all); fi += step {
+					f := all[fi]
+					det := td.ConfirmFills(fb, f)
+					for k := uint(0); k < 64; k += 3 {
+						ff := laneFrame(fb, k)
+						vals := td.Values(ff)
+						for i, ppo := range c.PPOs() {
+							goodS2[i] = sim.V3(vals[ppo].Final())
+						}
+						want := td.Confirm(ff, vals, goodS2, f)
+						if got := det>>k&1 != 0; got != want {
+							t.Fatalf("%s/%s trial %d fault %s lane %d: batched %v, scalar %v",
+								c.Name, alg.Name(), trial, f.Name(c), k, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

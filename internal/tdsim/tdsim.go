@@ -56,6 +56,10 @@ type Sim struct {
 	faultyV  []sim.Word
 	injD     *sim.InjectDelay64
 	verdicts []bool
+
+	// Scratch for the lane-parallel X-fill confirmation (ConfirmFills),
+	// built on first use.
+	fill *fillScratch
 }
 
 // New builds the simulator.

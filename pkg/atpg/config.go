@@ -93,6 +93,12 @@ type Config struct {
 	// ScalarCredit forces the scalar reference path of the credit sweep
 	// (differential-testing knob; results are identical).
 	ScalarCredit bool `json:"scalar_credit,omitempty"`
+	// ScalarSearch forces the scalar reference path of the
+	// generation-phase search: X-fill trials confirmed one frame at a
+	// time instead of 64 per machine word, decision probes scored by
+	// per-lane simulation instead of one lane-parallel pass
+	// (differential-testing knob; results are identical).
+	ScalarSearch bool `json:"scalar_search,omitempty"`
 	// FullEval forces full levelized simulation instead of the
 	// event-driven cone kernels (reference oracle; results are
 	// identical).
@@ -213,7 +219,8 @@ func (c Config) Canonical() (Config, error) {
 
 // CacheKey returns a deterministic string key for result caching: the
 // compact JSON of the Canonical form with the pure-scheduling knobs
-// (FullEval, ScalarCredit, Broadcast, Steal, ConeSets) cleared, since
+// (FullEval, ScalarCredit, ScalarSearch, Broadcast, Steal, ConeSets)
+// cleared, since
 // the Result — canonical JSON included — is bit-identical under every
 // setting of those. Workers stays in the key because Result echoes it.
 // Invalid configurations are errors.
@@ -224,6 +231,7 @@ func (c Config) CacheKey() (string, error) {
 	}
 	canon.FullEval = false
 	canon.ScalarCredit = false
+	canon.ScalarSearch = false
 	canon.Broadcast = false
 	canon.Steal = false
 	canon.ConeSets = ""
@@ -278,6 +286,7 @@ func (c Config) engineOptions() (core.Options, error) {
 		Workers:           c.Workers,
 		Order:             h,
 		ScalarCredit:      c.ScalarCredit,
+		ScalarSearch:      c.ScalarSearch,
 		FullEval:          c.FullEval,
 		Compact:           c.Compact,
 		Broadcast:         c.Broadcast,
