@@ -1,0 +1,102 @@
+// Atpglint runs the house static-analysis suite (internal/lint) over the
+// given package patterns and exits non-zero when any contract is violated:
+//
+//	go run ./cmd/atpglint ./...
+//
+// The suite proves at compile time what the invariance tests check at run
+// time: engine-package determinism (no wall clocks, no global or constant-
+// seeded RNGs, no map-order-dependent result construction), scalar/batched
+// oracle pairing, mutex/atomic hygiene, the pkg/atpg API boundary with its
+// explicit exemption table, and the canonical-JSON tag discipline. See
+// DESIGN.md §13; deliberate exceptions are annotated in the source as
+// //lint:allow <analyzer> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"fogbuster/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command. Exit codes: 0 clean, 1 findings,
+// 2 usage or load failure.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atpglint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: atpglint [flags] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "atpglint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Type-check only when a requested analyzer needs it; the boundary and
+	// jsontag analyzers alone run in a fraction of the time.
+	mode := lint.LoadSyntax
+	for _, a := range analyzers {
+		if a.NeedTypes {
+			mode = lint.LoadTypes
+		}
+	}
+
+	pkgs, err := lint.Load(".", mode, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "atpglint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "atpglint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "atpglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

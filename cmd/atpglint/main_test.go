@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fixture-level behavior of every analyzer is pinned in
+// internal/lint; these tests cover the multichecker shell itself: flag
+// parsing, analyzer selection, and the exit-code contract CI keys on.
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"determinism", "oraclepair", "copylock", "apiboundary", "jsontag"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer: want exit 2, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr should name the unknown analyzer: %s", errb.String())
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does/not/exist/..."}, &out, &errb); code != 2 {
+		t.Fatalf("bad pattern: want exit 2, got %d (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestBoundaryCleanOnOwnTree runs the syntax-only analyzers over the
+// repository's cmd/ subtree through the real binary path: the tree must be
+// clean, and the run must stay in syntax mode (fast) because neither
+// analyzer needs types.
+func TestBoundaryCleanOnOwnTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "apiboundary,jsontag", "fogbuster/cmd/...", "fogbuster/internal/service"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("boundary over cmd/: want exit 0, got %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -101,6 +101,8 @@ func load(path string) (map[string]Record, error) {
 // diff renders the comparison table and returns the failure messages:
 // regressions exceeding maxRegress percent (none when maxRegress is 0)
 // and baseline benchmarks that disappeared from the new file (always).
+// The table ends with a one-line summary (counts and the worst delta) so
+// a green CI log still records the perf trajectory at a glance.
 func diff(old, cur map[string]Record, metric string, maxRegress float64) (string, []string) {
 	names := make([]string, 0, len(old)+len(cur))
 	for n := range old {
@@ -115,6 +117,8 @@ func diff(old, cur map[string]Record, metric string, maxRegress float64) (string
 
 	out := fmt.Sprintf("%-60s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
 	var failures []string
+	var compared, added, gone int
+	worst, worstName := 0.0, ""
 	for _, n := range names {
 		o, haveOld := old[n]
 		c, haveCur := cur[n]
@@ -124,9 +128,11 @@ func diff(old, cur map[string]Record, metric string, maxRegress float64) (string
 		case !haveOld || !okOld:
 			if okCur {
 				out += fmt.Sprintf("%-60s %14s %14.0f %8s\n", n, "-", cv, "new")
+				added++
 			}
 		case !haveCur || !okCur:
 			out += fmt.Sprintf("%-60s %14.0f %14s %8s\n", n, ov, "-", "gone")
+			gone++
 			failures = append(failures,
 				fmt.Sprintf("benchmark disappeared: %s has no %s in the new file (baseline %.0f); deleted or renamed benchmarks un-pin their baseline and must be addressed explicitly", n, metric, ov))
 		default:
@@ -135,11 +141,23 @@ func diff(old, cur map[string]Record, metric string, maxRegress float64) (string
 				delta = 100 * (cv - ov) / ov
 			}
 			out += fmt.Sprintf("%-60s %14.0f %14.0f %+7.1f%%\n", n, ov, cv, delta)
+			if compared == 0 || delta > worst {
+				worst, worstName = delta, n
+			}
+			compared++
 			if maxRegress > 0 && delta > maxRegress {
 				failures = append(failures,
 					fmt.Sprintf("REGRESSION %s: %s %+.1f%% (limit %+.1f%%)", n, metric, delta, maxRegress))
 			}
 		}
 	}
+	summary := fmt.Sprintf("benchdiff: %d compared, %d new, %d gone", compared, added, gone)
+	if worstName != "" {
+		summary += fmt.Sprintf("; worst %s delta %+.1f%% (%s)", metric, worst, worstName)
+		if maxRegress > 0 {
+			summary += fmt.Sprintf(", limit %+.1f%%", maxRegress)
+		}
+	}
+	out += summary + "\n"
 	return out, failures
 }

@@ -40,7 +40,9 @@ func TestBenchdiffReport(t *testing.T) {
 	if code := run([]string{o, n}, &out, &errOut); code != 1 {
 		t.Fatalf("exit %d, want 1 for a disappeared baseline; stderr: %s", code, errOut.String())
 	}
-	for _, want := range []string{"+10.0%", "-25.0%", "new", "gone"} {
+	wants := []string{"+10.0%", "-25.0%", "new", "gone",
+		"benchdiff: 2 compared, 1 new, 1 gone; worst ns/op delta +10.0% (BenchmarkA)"}
+	for _, want := range wants {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
@@ -142,6 +144,11 @@ func TestBenchdiffGate(t *testing.T) {
 	errOut.Reset()
 	if code := run([]string{"-max-regress", "75", o, n}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, want 0 within the limit; stderr: %s", code, errOut.String())
+	}
+	// The summary trailer prints even on a clean pass, so a green CI log
+	// still records the drift and how close it came to the limit.
+	if !strings.Contains(out.String(), "worst ns/op delta +60.0% (BenchmarkA), limit +75.0%") {
+		t.Errorf("clean run missing summary trailer:\n%s", out.String())
 	}
 }
 

@@ -25,12 +25,17 @@
 // fanout cones of changed sources, bit-identical by contract
 // (core.Options.FullEval forces the full walks as the reference
 // oracle). Command line tools live under cmd/ and runnable examples
-// under examples/, all consuming pkg/atpg exclusively — with one
-// sanctioned exception: cmd/atpgd, the ATPG-as-a-service daemon, is a
+// under examples/, all consuming pkg/atpg exclusively — with the
+// sanctioned exceptions listed, with their reasons, in internal/lint's
+// exemption table: chiefly cmd/atpgd, the ATPG-as-a-service daemon, a
 // thin shell over internal/service (multi-tenant job scheduler,
 // content-hash circuit/result caches, HTTP + SSE handlers; DESIGN.md
-// §10), which itself consumes the engine only through pkg/atpg. The
-// benchmarks
+// §10), which itself consumes the engine only through pkg/atpg. That
+// boundary — along with engine-package determinism, scalar/batched
+// oracle pairing, mutex/atomic hygiene, and canonical-JSON tag
+// discipline — is machine-checked by the house analyzer suite in
+// internal/lint, runnable as `go run ./cmd/atpglint ./...` (DESIGN.md
+// §13). The benchmarks
 // in bench_test.go regenerate every table and figure of the paper's
 // evaluation; EXPERIMENTS.md records the measured results against the
 // paper's.

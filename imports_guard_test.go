@@ -1,89 +1,53 @@
 package fogbuster
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
+
+	"fogbuster/internal/lint"
 )
 
-// walkImports parses every .go file under root and reports each import
-// path to visit as (file, import).
-func walkImports(t *testing.T, root string, visit func(path, imp string)) {
-	t.Helper()
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
-		if err != nil {
-			return err
-		}
-		for _, imp := range f.Imports {
-			val, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				return err
-			}
-			visit(path, val)
-		}
-		return nil
-	})
+// TestAPIBoundary guards the import contracts of DESIGN.md §8/§10 by
+// running the apiboundary analyzer (internal/lint) over the live tree:
+//
+//   - every package under cmd/ and examples/ (tests included) consumes
+//     the engine exclusively through fogbuster/pkg/atpg, with the
+//     deliberate edges listed — with their reasons — in
+//     lint.DefaultBoundaryExemptions (atpgd → service, atpgcoord's tests
+//     → service, atpglint → lint);
+//   - internal/service imports no module package other than
+//     fogbuster/pkg/atpg: the reference multi-tenant harness must prove
+//     the public API sufficient.
+//
+// Until ISSUE 10 this file carried its own go/parser walk and CI carried
+// a `go list | grep` pipeline encoding the same rules with their own
+// copies of the exemption list; both now delegate to the analyzer, so the
+// exemption table has exactly one home. CI runs the identical check via
+// `go run ./cmd/atpglint ./...`; this test keeps it inside `go test ./...`
+// where every developer already is. The table's entries are proven
+// load-bearing (deleting one flags the fixture that rides it) by
+// TestExemptionTableLoadBearing in internal/lint.
+func TestAPIBoundary(t *testing.T) {
+	pkgs, err := lint.Load(".", lint.LoadSyntax, "./cmd/...", "./examples/...", "./internal/service/...")
 	if err != nil {
 		t.Fatal(err)
 	}
-}
-
-// TestPublicConsumersNeverImportInternal guards the API boundary: every
-// package under cmd/ and examples/ (tests included) must consume the
-// engine exclusively through fogbuster/pkg/atpg — no direct import of
-// anything under fogbuster/internal/. This is the compile-time face of
-// the stability contract in DESIGN.md §8; CI runs the same check via
-// `go list` so the guard cannot rot with the test tags.
-//
-// One deliberate exemption: cmd/atpgd is the thin shell over
-// internal/service (the daemon's scheduler/cache/HTTP layer, which is
-// not public API precisely because its options and wire helpers may
-// still move). That edge is allowed; service itself is held to the
-// same pkg/atpg-only rule by the test below, so the engine boundary is
-// unchanged — atpgd reaches the engine through service through pkg/atpg.
-func TestPublicConsumersNeverImportInternal(t *testing.T) {
-	for _, root := range []string{"cmd", "examples"} {
-		walkImports(t, root, func(path, val string) {
-			if !strings.HasPrefix(val, "fogbuster/internal/") {
-				return
-			}
-			if val == "fogbuster/internal/service" && strings.HasPrefix(filepath.ToSlash(path), "cmd/atpgd/") {
-				return
-			}
-			// atpgcoord's tests boot in-process workers from the service
-			// package instead of shelling out to atpgd binaries; the
-			// coordinator binary itself stays pkg/atpg-only.
-			if val == "fogbuster/internal/service" && strings.HasPrefix(filepath.ToSlash(path), "cmd/atpgcoord/") && strings.HasSuffix(path, "_test.go") {
-				return
-			}
-			t.Errorf("%s imports %s; public consumers must use fogbuster/pkg/atpg only", path, val)
-		})
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages; the guard is not guarding")
 	}
-}
-
-// TestServiceConsumesPublicAPIOnly holds internal/service to the same
-// contract as external consumers: among module packages it may import
-// only fogbuster/pkg/atpg. The service is the reference multi-tenant
-// harness around the engine — if it needed private hooks, the public
-// API would be lying about being sufficient.
-func TestServiceConsumesPublicAPIOnly(t *testing.T) {
-	walkImports(t, filepath.Join("internal", "service"), func(path, val string) {
-		if !strings.HasPrefix(val, "fogbuster/") {
-			return
-		}
-		if val != "fogbuster/pkg/atpg" {
-			t.Errorf("%s imports %s; internal/service must consume the engine through fogbuster/pkg/atpg only", path, val)
-		}
-	})
+	var sawCmd, sawService bool
+	for _, p := range pkgs {
+		sawCmd = sawCmd || strings.HasPrefix(p.PkgPath, "fogbuster/cmd/")
+		sawService = sawService || p.PkgPath == "fogbuster/internal/service"
+	}
+	if !sawCmd || !sawService {
+		t.Fatalf("loader missed a guarded subtree (cmd: %v, service: %v)", sawCmd, sawService)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{lint.BoundaryAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
 }

@@ -101,7 +101,7 @@ func (e *Engine) newWorker() *worker {
 		state64: make([]sim.Word, len(c.DFFs)),
 	}
 	for i := range w.lanes {
-		w.lanes[i] = rand.New(rand.NewSource(0))
+		w.lanes[i] = rand.New(rand.NewSource(0)) //lint:allow determinism placeholder stream; seedLane reseeds per (attempt,lane) before every draw
 	}
 	return w
 }

@@ -493,7 +493,7 @@ type Detection struct {
 func SortedDetections(cov map[netlist.Line][2]bool) []Detection {
 	out := make([]Detection, 0, len(cov))
 	for l, det := range cov {
-		out = append(out, Detection{Line: l, Det: det})
+		out = append(out, Detection{Line: l, Det: det}) //lint:allow determinism sorted into (Node, Branch) order below before return
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Line.Node != out[j].Line.Node {

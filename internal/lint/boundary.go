@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Exemption is one deliberate hole in the API boundary: Consumer may
+// import Target, in test files only when TestOnly is set. Every entry
+// carries its justification — the table is the single source of truth the
+// old `go list | grep` CI pipeline and the go/parser walk in
+// imports_guard_test.go each half-encoded.
+type Exemption struct {
+	Consumer string // importing package (import path)
+	Target   string // imported package (import path)
+	TestOnly bool   // the edge is allowed in _test.go files only
+	Reason   string
+}
+
+// DefaultBoundaryExemptions is the shipped exemption table.
+var DefaultBoundaryExemptions = []Exemption{
+	{
+		Consumer: "fogbuster/cmd/atpgd",
+		Target:   "fogbuster/internal/service",
+		Reason:   "atpgd is the thin flags/listener shell over the service layer; service itself is held to pkg/atpg-only below",
+	},
+	{
+		Consumer: "fogbuster/cmd/atpgcoord",
+		Target:   "fogbuster/internal/service",
+		TestOnly: true,
+		Reason:   "coordinator tests boot in-process service workers instead of shelling out to atpgd binaries; the binary stays pkg/atpg-only",
+	},
+	{
+		Consumer: "fogbuster/cmd/atpglint",
+		Target:   "fogbuster/internal/lint",
+		Reason:   "atpglint is the multichecker shell over the analyzer suite; it never touches the engine",
+	},
+}
+
+// BoundaryAnalyzer enforces the two import contracts of DESIGN.md §8/§10:
+//
+//   - packages under cmd/ and examples/ consume the engine exclusively
+//     through fogbuster/pkg/atpg — no fogbuster/internal/* imports except
+//     the entries in the exemption table;
+//   - fogbuster/internal/service imports no module package other than
+//     fogbuster/pkg/atpg (the reference multi-tenant harness must prove
+//     the public API sufficient).
+//
+// It replaces the `go list -f ... | grep` CI pipeline; being an analyzer,
+// it checks the exact file set the compiler builds, test files included.
+var BoundaryAnalyzer = NewBoundaryAnalyzer(DefaultBoundaryExemptions)
+
+// NewBoundaryAnalyzer builds the boundary analyzer over an explicit
+// exemption table (tests inject reduced tables to prove each entry is
+// load-bearing).
+func NewBoundaryAnalyzer(table []Exemption) *Analyzer {
+	return &Analyzer{
+		Name: "apiboundary",
+		Doc:  "cmd/ and examples/ import pkg/atpg only (exemption table aside); internal/service consumes the engine through pkg/atpg only",
+		Run: func(pass *Pass) error {
+			return runBoundary(pass, table)
+		},
+	}
+}
+
+const (
+	modulePrefix   = "fogbuster/"
+	internalPrefix = "fogbuster/internal/"
+	publicAPI      = "fogbuster/pkg/atpg"
+	servicePkg     = "fogbuster/internal/service"
+)
+
+func runBoundary(pass *Pass, table []Exemption) error {
+	isCmd := strings.HasPrefix(pass.PkgPath, "fogbuster/cmd/")
+	isExample := strings.HasPrefix(pass.PkgPath, "fogbuster/examples/")
+	isService := pass.PkgPath == servicePkg || strings.HasPrefix(pass.PkgPath, servicePkg+"/")
+	if !isCmd && !isExample && !isService {
+		return nil
+	}
+	exempt := func(target string, testFile bool) (Exemption, bool) {
+		for _, e := range table {
+			if e.Consumer == pass.PkgPath && e.Target == target && (!e.TestOnly || testFile) {
+				return e, true
+			}
+		}
+		return Exemption{}, false
+	}
+	for _, f := range pass.Files {
+		testFile := pass.IsTest[f] || pass.XTest
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case (isCmd || isExample) && strings.HasPrefix(path, internalPrefix):
+				if _, ok := exempt(path, testFile); ok {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"%s imports %s: cmd/ and examples/ consume the engine through %s only; a deliberate edge needs an entry in lint.DefaultBoundaryExemptions",
+					pass.PkgPath, path, publicAPI)
+			case isService && strings.HasPrefix(path, modulePrefix) && path != publicAPI:
+				pass.Reportf(imp.Pos(),
+					"%s imports %s: internal/service must consume the engine through %s only — if the service needs a private hook, the public API is lying about being sufficient",
+					pass.PkgPath, path, publicAPI)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EnginePackages lists the packages whose results feed the canonical JSON
+// document and must therefore be bit-reproducible at every worker count,
+// shard split, and kernel pairing (DESIGN.md §§4–12). internal/service is
+// included: its caches replay canonical bytes, so a commit-order leak there
+// corrupts responses just as surely as one in the engine proper.
+var EnginePackages = map[string]bool{
+	"fogbuster/internal/core":    true,
+	"fogbuster/internal/sim":     true,
+	"fogbuster/internal/tdsim":   true,
+	"fogbuster/internal/tdgen":   true,
+	"fogbuster/internal/semilet": true,
+	"fogbuster/internal/fausim":  true,
+	"fogbuster/internal/compact": true,
+	"fogbuster/internal/order":   true,
+	"fogbuster/internal/service": true,
+	"fogbuster/pkg/atpg":         true,
+}
+
+// DeterminismAnalyzer enforces the reproducibility house rules in the
+// engine packages (non-test files only):
+//
+//   - no time.Now/time.Since — wall-clock reads are allowed only at sites
+//     annotated //lint:allow determinism <reason> (Summary.Runtime, job
+//     metadata), because any unannotated read tends to leak into results;
+//   - no global math/rand state (rand.Intn, rand.Seed, …) — the process-
+//     wide source makes outcomes depend on what ran before;
+//   - no rand.New/rand.NewSource with a constant seed — the §12 faultSeed
+//     discipline derives every stream from the run seed plus a fault or
+//     lane index carried in an argument or field;
+//   - no map iteration whose body appends to a slice, sends on a channel,
+//     or calls an event emitter — the classic commit-order leak: map order
+//     is randomized per run, so anything order-sensitive fed from a range
+//     over a map diverges between byte-identical inputs.
+var DeterminismAnalyzer = &Analyzer{
+	Name:      "determinism",
+	Doc:       "flag wall-clock reads, global or constant-seeded RNGs, and map-order-dependent result construction in engine packages",
+	NeedTypes: true,
+	Run:       runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !EnginePackages[pass.PkgPath] || pass.XTest {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTest[f] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCallDeterminism(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcFromPkg resolves a call target to (package path, function name) when
+// the callee is a package-level function of an imported package.
+func funcFromPkg(pass *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+func checkCallDeterminism(pass *Pass, call *ast.CallExpr) {
+	pkg, name, ok := funcFromPkg(pass, call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		if name == "Now" || name == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in engine package %s: wall-clock reads leak into results; derive from inputs, or annotate a deliberate metadata site with //lint:allow determinism <reason>",
+				name, pass.PkgPath)
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(name, "New") {
+			// Constructors (New, NewSource, NewPCG, …) own their stream;
+			// only their seed provenance is at issue.
+			for _, arg := range call.Args {
+				checkSeedExpr(pass, call, arg)
+			}
+		} else {
+			pass.Reportf(call.Pos(),
+				"global %s.%s shares process-wide RNG state: outcomes depend on unrelated draws; use rand.New(rand.NewSource(seed)) with a seed derived per fault (§12 faultSeed discipline)",
+				pathBase(pkg), name)
+		}
+	}
+}
+
+// checkSeedExpr flags seed arguments that are compile-time constants: a
+// constant seed means every call site replays one fixed stream, which is
+// how two workers end up drawing identical "random" fills. Seeds must
+// carry provenance — an argument, field, or derived variable.
+func checkSeedExpr(pass *Pass, call *ast.CallExpr, arg ast.Expr) {
+	// Nested rand.NewSource(...) inside rand.New(...): recurse via the
+	// normal Inspect walk; only judge non-call leaf arguments here.
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if pkg, _, ok := funcFromPkg(pass, inner); ok && (pkg == "math/rand" || pkg == "math/rand/v2") {
+			return // judged at its own call site
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if ok && tv.Value != nil {
+		pass.Reportf(call.Pos(),
+			"%s seeded with constant %s: every site replays one fixed stream; derive the seed from an argument or field (§12 faultSeed discipline) or annotate with //lint:allow determinism <reason>",
+			exprString(pass.Fset, call.Fun), tv.Value.String())
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body
+// appends to a slice, sends on a channel, or calls an emitter-shaped
+// function: the iteration order is randomized, so the sink observes a
+// different order on every run.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested ranges are checked independently; their sinks would
+			// double-report through this walk.
+			if n != rng {
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"send on a channel inside range over map %s: receivers observe randomized map order; iterate a sorted key slice instead",
+				exprString(pass.Fset, rng.X))
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					pass.Reportf(n.Pos(),
+						"append inside range over map %s builds a slice in randomized map order; iterate a sorted key slice (or sort the result and annotate with //lint:allow determinism <reason>)",
+						exprString(pass.Fset, rng.X))
+				}
+				return true
+			}
+			if name := calleeName(n); isEmitterName(name) {
+				pass.Reportf(n.Pos(),
+					"%s called inside range over map %s: events fire in randomized map order; iterate a sorted key slice instead",
+					name, exprString(pass.Fset, rng.X))
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare callee name of a call for the emitter
+// heuristic.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isEmitterName matches the event-emitting call shapes of this codebase:
+// the core merge loop's emit helpers and the OnEvent callback fields.
+func isEmitterName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "emit") || lower == "onevent" || strings.HasPrefix(lower, "publish")
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

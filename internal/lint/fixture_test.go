@@ -1,0 +1,173 @@
+package lint
+
+// The fixture harness is the house analogue of x/tools' analysistest:
+// every directory under testdata/<analyzer>/ is one package of fixture
+// files, type-checked under an impersonated import path (the rules match
+// on paths, so a fixture claiming to be fogbuster/internal/sim is held to
+// the sim package's contracts). Expected findings are annotated in the
+// fixture source:
+//
+//	code() // want "substring of the diagnostic"
+//
+// Each fixture must produce exactly its want set: a missing finding and a
+// surplus finding both fail, so every analyzer demonstrably flags its bad
+// case and stays quiet on its allowed case.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureChecker shares one source importer (and its package cache) across
+// every fixture load in the test binary.
+var fixtureChecker = sync.OnceValue(func() *fixtureLoader {
+	fset := token.NewFileSet()
+	return &fixtureLoader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+		stub: make(map[string]*types.Package),
+	}
+})
+
+type fixtureLoader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	stub map[string]*types.Package
+}
+
+// Import resolves stdlib packages from source and module-internal paths as
+// empty stubs, so boundary fixtures can impersonate cmd/ packages without
+// dragging the real engine into the type-check.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if strings.HasPrefix(path, "fogbuster/") {
+		if p, ok := l.stub[path]; ok {
+			return p, nil
+		}
+		p := types.NewPackage(path, path[strings.LastIndexByte(path, '/')+1:])
+		p.MarkComplete()
+		l.stub[path] = p
+		return p, nil
+	}
+	return l.imp.Import(path)
+}
+
+// loadFixture parses and type-checks one fixture directory as pkgPath.
+func loadFixture(t *testing.T, dir, pkgPath string) *Package {
+	t.Helper()
+	l := fixtureChecker()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		IsTest:  make(map[*ast.File]bool),
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.IsTest[f] = strings.HasSuffix(e.Name(), "_test.go")
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatalf("fixture %s holds no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, pkg.Files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// wantedFindings scans the fixture files for want annotations keyed by
+// (file, line).
+func wantedFindings(pkg *Package) map[string][]string {
+	wants := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					key := posKey(pos.Filename, pos.Line)
+					wants[key] = append(wants[key], strings.ReplaceAll(m[1], `\"`, `"`))
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return filepath.Base(file) + ":" + strconv.Itoa(line)
+}
+
+// checkFixture runs the analyzer over the fixture and diffs findings
+// against the want annotations.
+func checkFixture(t *testing.T, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := wantedFindings(pkg)
+	matched := make(map[string][]bool)
+	for key, subs := range wants {
+		matched[key] = make([]bool, len(subs))
+	}
+	for _, d := range diags {
+		key := posKey(d.Pos.Filename, d.Pos.Line)
+		ok := false
+		for i, sub := range wants[key] {
+			if strings.Contains(d.Message, sub) {
+				matched[key][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for i, sub := range wants[key] {
+			if !matched[key][i] {
+				t.Errorf("missing finding at %s: want message containing %q", key, sub)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// JSONTagAnalyzer guards the canonical-JSON surface: in fogbuster/pkg/atpg,
+// any exported struct type that participates in JSON encoding (has at
+// least one json-tagged field) must tag every exported field — either with
+// a name or with an explicit json:"-". An untagged field silently joins
+// the canonical document under its Go name, which shifts golden files and
+// every (content hash, config) cache key downstream; the rule turns that
+// 3 AM cache-corruption hunt into a compile-time finding. Opting a field
+// out of the document is fine; doing it implicitly is not.
+var JSONTagAnalyzer = &Analyzer{
+	Name: "jsontag",
+	Doc:  "exported fields of pkg/atpg's JSON-encoded structs must carry a json tag or an explicit json:\"-\"",
+	Run:  runJSONTag,
+}
+
+// jsonTagPackages is where the rule applies: the public API package is the
+// one place canonical documents are defined.
+var jsonTagPackages = map[string]bool{
+	"fogbuster/pkg/atpg": true,
+}
+
+func runJSONTag(pass *Pass) error {
+	if !jsonTagPackages[pass.PkgPath] || pass.XTest {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTest[f] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructTags(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkStructTags(pass *Pass, typeName string, st *ast.StructType) {
+	type fieldInfo struct {
+		name    *ast.Ident
+		hasTag  bool
+		isDash  bool
+		tagName string
+	}
+	var fields []fieldInfo
+	tagged := 0
+	for _, field := range st.Fields.List {
+		tag, hasJSON := jsonTag(field)
+		names := field.Names
+		if len(names) == 0 {
+			// Embedded field: treat the type name as the field name.
+			if id := embeddedName(field.Type); id != nil {
+				names = []*ast.Ident{id}
+			}
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				continue
+			}
+			fi := fieldInfo{name: name, hasTag: hasJSON}
+			if hasJSON {
+				tagged++
+				fi.isDash = tag == "-"
+				fi.tagName = strings.Split(tag, ",")[0]
+			}
+			fields = append(fields, fi)
+		}
+	}
+	if tagged == 0 {
+		return // not a JSON-encoded struct
+	}
+	for _, fi := range fields {
+		if fi.hasTag {
+			continue
+		}
+		pass.Reportf(fi.name.Pos(),
+			"exported field %s.%s has no json tag: it silently joins the canonical JSON document under its Go name, shifting golden files and cache keys; tag it or opt out explicitly with json:\"-\"",
+			typeName, fi.name.Name)
+	}
+}
+
+// jsonTag extracts the json struct tag value.
+func jsonTag(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return "", false
+	}
+	return reflect.StructTag(raw).Lookup("json")
+}
+
+// embeddedName digs the identifier out of an embedded field's type.
+func embeddedName(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package lint is the house static-analysis suite: a small, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis shape (Analyzer,
+// Pass, Diagnostic) plus a package loader, encoding the contracts every PR
+// of this repo has staked the reproduction on — determinism of the engine
+// packages, scalar/batched oracle pairing, mutex/atomic hygiene, the
+// pkg/atpg API boundary, and canonical-JSON tag discipline (DESIGN.md §13).
+//
+// The framework is stdlib-only on purpose: the module has no third-party
+// dependencies and the linter must not be the first. Packages are loaded
+// through `go list -json` and type-checked with the stdlib source importer,
+// so the analyzers see exactly the files the compiler would build, test
+// files included.
+//
+// Deliberate exceptions to a rule are annotated in the source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. A directive without a
+// reason is itself a finding — the annotation is documentation, not a mute
+// button.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run receives a fully loaded package and
+// reports findings through the Pass; it returns an error only for internal
+// failures (a finding is never an error).
+type Analyzer struct {
+	Name string
+	Doc  string
+	// NeedTypes marks analyzers that read Pass.TypesInfo; the loader may
+	// skip type-checking when every requested analyzer is syntax-only.
+	NeedTypes bool
+	Run       func(*Pass) error
+}
+
+// Pass carries one loaded package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// PkgPath is the import path the rules match on (fixtures type-check
+	// under the real paths they impersonate).
+	PkgPath string
+	// Files holds the package's syntax, compiled files first, then
+	// in-package test files. IsTest tells them apart by *ast.File.
+	Files  []*ast.File
+	IsTest map[*ast.File]bool
+	// XTest marks an external test package (package foo_test); PkgPath is
+	// still the base package's path.
+	XTest bool
+	// Pkg and TypesInfo are nil when the package was loaded syntax-only.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// AllowDirective is one parsed //lint:allow comment.
+type AllowDirective struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+}
+
+// directivePrefix is what an allow annotation starts with. The directive
+// deliberately mirrors the //go: style: no space after //, machine-scoped.
+const directivePrefix = "lint:allow"
+
+// collectDirectives parses every //lint:allow directive in the files and
+// returns them plus a diagnostic for each malformed one (missing analyzer
+// name or missing reason).
+func collectDirectives(fset *token.FileSet, files []*ast.File) ([]AllowDirective, []Diagnostic) {
+	var dirs []AllowDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				dirs = append(dirs, AllowDirective{
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+					Pos:      pos,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// suppress filters diags through the allow directives: a finding is
+// suppressed when a directive for its analyzer sits on the same line or on
+// the line directly above it in the same file. Directives naming "all"
+// suppress every analyzer (reserved for generated code; unused today).
+func suppress(diags []Diagnostic, dirs []AllowDirective) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool)
+	for _, d := range dirs {
+		for _, line := range [2]int{d.Pos.Line, d.Pos.Line + 1} {
+			allowed[key{d.Pos.Filename, line, d.Analyzer}] = true
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			allowed[key{d.Pos.Filename, d.Pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// RunAnalyzers applies the analyzers to every loaded package and returns
+// the surviving findings sorted by position. Malformed allow directives are
+// findings too, reported once per package.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg.Fset, pkg.Files)
+		all = append(all, bad...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.NeedTypes && pkg.TypesInfo == nil {
+				return nil, fmt.Errorf("analyzer %s needs type information but %s was loaded syntax-only", a.Name, pkg.PkgPath)
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				PkgPath:   pkg.PkgPath,
+				Files:     pkg.Files,
+				IsTest:    pkg.IsTest,
+				XTest:     pkg.XTest,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		all = append(all, suppress(diags, dirs)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// Analyzers returns the full house suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		OraclePairAnalyzer,
+		CopyLockAnalyzer,
+		BoundaryAnalyzer,
+		JSONTagAnalyzer,
+	}
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(fset, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(fset, e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(fset, e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(fset, e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(fset, e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The fixture tests are the analysistest suite of DESIGN.md §13: every
+// analyzer demonstrates at least one flagged and one allowed case against
+// testdata packages that impersonate the real import paths.
+
+func TestDeterminismFixtures(t *testing.T) {
+	// The engine fixture is held to the rules; the same constructs in a
+	// non-engine package pass untouched.
+	checkFixture(t, DeterminismAnalyzer, "testdata/determinism/engine", "fogbuster/internal/tdgen")
+	checkFixture(t, DeterminismAnalyzer, "testdata/determinism/outside", "fogbuster/cmd/tdatpg")
+}
+
+func TestOraclePairFixtures(t *testing.T) {
+	checkFixture(t, OraclePairAnalyzer, "testdata/oraclepair/kernels", "fogbuster/internal/sim")
+	// Outside the kernel packages the same file is no one's business.
+	checkFixtureExpectNone(t, OraclePairAnalyzer, "testdata/oraclepair/kernels", "fogbuster/internal/netlist")
+}
+
+func TestCopyLockFixtures(t *testing.T) {
+	checkFixture(t, CopyLockAnalyzer, "testdata/copylock/locks", "fogbuster/internal/core")
+	checkFixture(t, CopyLockAnalyzer, "testdata/copylock/mixed", "fogbuster/internal/service")
+}
+
+func TestBoundaryFixtures(t *testing.T) {
+	a := BoundaryAnalyzer
+	checkFixture(t, a, "testdata/boundary/atpgd", "fogbuster/cmd/atpgd")
+	checkFixture(t, a, "testdata/boundary/atpgcoord", "fogbuster/cmd/atpgcoord")
+	checkFixture(t, a, "testdata/boundary/atpgcoord_nontest", "fogbuster/cmd/atpgcoord")
+	checkFixture(t, a, "testdata/boundary/badcmd", "fogbuster/cmd/badcmd")
+	checkFixture(t, a, "testdata/boundary/service", "fogbuster/internal/service")
+	checkFixture(t, a, "testdata/boundary/example", "fogbuster/examples/quickstart")
+}
+
+// TestExemptionTableLoadBearing proves each shipped exemption is doing
+// work: with the entry removed, the fixture that rides it is refused. This
+// is the compile-time stand-in for deleting the entry and watching CI go
+// red (acceptance criterion of ISSUE 10).
+func TestExemptionTableLoadBearing(t *testing.T) {
+	cases := []struct {
+		name     string
+		fixture  string
+		pkgPath  string
+		consumer string
+		target   string
+	}{
+		{"atpgd", "testdata/boundary/atpgd", "fogbuster/cmd/atpgd", "fogbuster/cmd/atpgd", "fogbuster/internal/service"},
+		{"atpgcoord-test", "testdata/boundary/atpgcoord", "fogbuster/cmd/atpgcoord", "fogbuster/cmd/atpgcoord", "fogbuster/internal/service"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var reduced []Exemption
+			for _, e := range DefaultBoundaryExemptions {
+				if e.Consumer == tc.consumer && e.Target == tc.target {
+					continue
+				}
+				reduced = append(reduced, e)
+			}
+			pkg := loadFixture(t, tc.fixture, tc.pkgPath)
+
+			full, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{NewBoundaryAnalyzer(DefaultBoundaryExemptions)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(full) != 0 {
+				t.Fatalf("fixture %s should pass under the shipped table, got %v", tc.fixture, full)
+			}
+
+			cut, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{NewBoundaryAnalyzer(reduced)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cut) == 0 {
+				t.Fatalf("exemption %s -> %s is not load-bearing: fixture %s still passes without it", tc.consumer, tc.target, tc.fixture)
+			}
+			for _, d := range cut {
+				if !strings.Contains(d.Message, tc.target) {
+					t.Errorf("finding does not name the refused edge: %s", d.Message)
+				}
+			}
+		})
+	}
+}
+
+func TestJSONTagFixtures(t *testing.T) {
+	checkFixture(t, JSONTagAnalyzer, "testdata/jsontag/atpg", "fogbuster/pkg/atpg")
+	// The same file outside pkg/atpg carries no canonical-JSON contract.
+	checkFixtureExpectNone(t, JSONTagAnalyzer, "testdata/jsontag/atpg", "fogbuster/internal/service")
+}
+
+func TestMalformedDirective(t *testing.T) {
+	pkg := loadFixture(t, "testdata/allow/malformed", "fogbuster/internal/netlist")
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed int
+	for _, d := range diags {
+		if d.Analyzer == "allow" && strings.Contains(d.Message, "malformed //lint:allow directive") {
+			malformed++
+		} else {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	if malformed != 1 {
+		t.Fatalf("want exactly 1 malformed-directive finding, got %d", malformed)
+	}
+}
+
+// checkFixtureExpectNone runs the analyzer over a fixture under a package
+// path where its rules do not apply and requires silence (ignoring want
+// annotations, which target the in-scope run).
+func checkFixtureExpectNone(t *testing.T, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, dir, pkgPath)
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("analyzer %s should not apply to %s: %s", a.Name, pkgPath, d)
+	}
+}
+
+// TestAnalyzersRegistry pins the suite composition the multichecker and CI
+// rely on.
+func TestAnalyzersRegistry(t *testing.T) {
+	want := []string{"determinism", "oraclepair", "copylock", "apiboundary", "jsontag"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("want %d analyzers, got %d", len(want), len(got))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: want %s, got %s", i, want[i], a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded (and optionally type-checked) package ready for
+// the analyzers. In-package test files ride along with the compiled files;
+// external test packages (package foo_test) become their own Package with
+// XTest set and the base package's import path.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	IsTest  map[*ast.File]bool
+	XTest   bool
+	// Types and TypesInfo are nil in syntax-only mode.
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir           string
+	ImportPath    string
+	Name          string
+	GoFiles       []string
+	CgoFiles      []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Standard      bool
+	ForTest       string
+	DepOnly       bool
+	Incomplete    bool
+	Error         *listError
+	InvalidGoFile string
+}
+
+type listError struct {
+	Err string
+}
+
+// LoadMode selects how much work Load does per package.
+type LoadMode int
+
+const (
+	// LoadSyntax parses files only; Types/TypesInfo stay nil. Enough for
+	// the import-level and struct-tag analyzers, and fast enough to run in
+	// a unit test.
+	LoadSyntax LoadMode = iota
+	// LoadTypes additionally type-checks every package (dependencies are
+	// resolved from source through the stdlib importer, so the first call
+	// pays for the whole dependency closure once per process).
+	LoadTypes
+)
+
+// Load resolves the package patterns with `go list` from dir (the module
+// root or below) and parses — and in LoadTypes mode type-checks — every
+// matched package, in-package test files included.
+func Load(dir string, mode LoadMode, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var imp types.Importer
+	if mode == LoadTypes {
+		imp = importer.ForCompiler(fset, "source", nil)
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by the lint loader", lp.ImportPath)
+		}
+		base, err := parseGroup(fset, lp.Dir, lp.GoFiles, lp.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if len(base.files) > 0 {
+			pkg := &Package{
+				PkgPath: lp.ImportPath,
+				Dir:     lp.Dir,
+				Fset:    fset,
+				Files:   base.files,
+				IsTest:  base.isTest,
+			}
+			if mode == LoadTypes {
+				if err := typeCheck(fset, pkg, imp); err != nil {
+					return nil, err
+				}
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			xt, err := parseGroup(fset, lp.Dir, nil, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkg := &Package{
+				PkgPath: lp.ImportPath,
+				Dir:     lp.Dir,
+				Fset:    fset,
+				Files:   xt.files,
+				IsTest:  xt.isTest,
+				XTest:   true,
+			}
+			if mode == LoadTypes {
+				if err := typeCheck(fset, pkg, imp); err != nil {
+					return nil, err
+				}
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// goList shells out to `go list -json` for the patterns. The go command is
+// the one authority on build constraints, file lists, and module layout —
+// reimplementing any of that is how import guards rot.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	return pkgs, nil
+}
+
+type parsedGroup struct {
+	files  []*ast.File
+	isTest map[*ast.File]bool
+}
+
+func parseGroup(fset *token.FileSet, dir string, compiled, test []string) (parsedGroup, error) {
+	g := parsedGroup{isTest: make(map[*ast.File]bool)}
+	parse := func(names []string, isTest bool) error {
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			g.files = append(g.files, f)
+			g.isTest[f] = isTest
+		}
+		return nil
+	}
+	if err := parse(compiled, false); err != nil {
+		return g, err
+	}
+	if err := parse(test, true); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+// typeCheck populates pkg.Types/TypesInfo. Dependencies resolve from
+// source via imp; the checked package itself includes its test files, so
+// the analyzers see what the test binary compiles.
+func typeCheck(fset *token.FileSet, pkg *Package, imp types.Importer) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	path := pkg.PkgPath
+	if pkg.XTest {
+		path += "_test"
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %v", pkg.PkgPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return nil
+}

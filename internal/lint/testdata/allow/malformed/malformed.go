@@ -1,0 +1,15 @@
+// Fixture for the directive parser: an annotation without a reason is
+// itself a finding — the escape hatch documents, it does not mute. The
+// assertions live in TestMalformedDirective (no want annotations here: a
+// want on the directive's own line would read as its reason).
+package malformed
+
+func noted() int {
+	//lint:allow determinism
+	return 1
+}
+
+func fine() int {
+	//lint:allow determinism the reason clause makes the directive well-formed
+	return 2
+}

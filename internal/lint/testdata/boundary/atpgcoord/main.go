@@ -1,0 +1,9 @@
+// Fixture impersonating fogbuster/cmd/atpgcoord: the binary is
+// pkg/atpg-only; its tests may boot in-process service workers.
+package main
+
+import (
+	_ "fogbuster/pkg/atpg"
+)
+
+func main() {}

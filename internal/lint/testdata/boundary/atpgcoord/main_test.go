@@ -1,0 +1,8 @@
+package main
+
+import (
+	_ "fogbuster/internal/service" // allowed: the atpgcoord exemption is TestOnly
+	"testing"
+)
+
+func TestBootsInProcessWorkers(t *testing.T) {}

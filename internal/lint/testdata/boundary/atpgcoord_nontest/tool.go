@@ -1,0 +1,10 @@
+// Fixture impersonating fogbuster/cmd/atpgcoord again, but with the
+// service import in a compiled file: the exemption is TestOnly, so this
+// edge is refused.
+package main
+
+import (
+	_ "fogbuster/internal/service" // want "cmd/ and examples/ consume the engine through fogbuster/pkg/atpg only"
+)
+
+func main() {}

@@ -1,0 +1,10 @@
+// Fixture impersonating fogbuster/cmd/atpgd: the exemption table allows
+// the thin daemon shell to import internal/service in compiled files.
+package main
+
+import (
+	_ "fogbuster/internal/service"
+	_ "fogbuster/pkg/atpg"
+)
+
+func main() {}

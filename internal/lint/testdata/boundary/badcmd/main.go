@@ -1,0 +1,10 @@
+// Fixture impersonating a new fogbuster/cmd/badcmd: any cmd/* -> internal/*
+// edge without a table entry is refused.
+package main
+
+import (
+	_ "fogbuster/internal/core" // want "cmd/ and examples/ consume the engine through fogbuster/pkg/atpg only"
+	_ "fogbuster/pkg/atpg"
+)
+
+func main() {}

@@ -1,0 +1,9 @@
+// Fixture impersonating fogbuster/examples/quickstart: the public API is
+// the only module import an example may carry.
+package main
+
+import (
+	_ "fogbuster/pkg/atpg"
+)
+
+func main() {}

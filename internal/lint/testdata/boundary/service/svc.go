@@ -1,0 +1,9 @@
+// Fixture impersonating fogbuster/internal/service: among module packages
+// only fogbuster/pkg/atpg is importable.
+package service
+
+import (
+	_ "fogbuster/internal/core" // want "internal/service must consume the engine through fogbuster/pkg/atpg only"
+	_ "fogbuster/pkg/atpg"
+	_ "net/http"
+)

@@ -1,0 +1,69 @@
+// Fixture for the mutex/atomic hygiene rules.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type tracker struct {
+	mu    sync.Mutex
+	count int
+}
+
+type counters struct {
+	hits atomic.Int64
+}
+
+// nested embeds a lock transitively.
+type nested struct {
+	inner tracker
+}
+
+func use(t tracker) int { // value receiver params are call-site findings, see below
+	return t.count
+}
+
+func flagged() {
+	var a tracker
+	b := a // want "assignment copies tracker, which holds sync/atomic state"
+	_ = b
+
+	use(a) // want "call argument copies tracker, which holds sync/atomic state"
+
+	var n nested
+	m := n // want "assignment copies nested, which holds sync/atomic state"
+	_ = m
+
+	var c counters
+	d := c // want "assignment copies counters, which holds sync/atomic state"
+	_ = d
+
+	list := []tracker{{}, {}}
+	for _, item := range list { // want "range clause copies tracker, which holds sync/atomic state"
+		_ = item
+	}
+}
+
+func ret(t *tracker) tracker {
+	return *t // want "return statement copies tracker, which holds sync/atomic state"
+}
+
+// Allowed shapes: fresh composite literals, pointers, and index-free use.
+func allowed() *tracker {
+	t := tracker{} // fresh literal: never shared, safe to place
+	arr := make([]tracker, 4)
+	arr[0] = tracker{count: 1} // fresh literal into a slot, the claimer idiom
+	for i := range arr {       // index-only range copies nothing
+		arr[i].count++
+	}
+	return &t
+}
+
+type valueReceiver struct {
+	mu sync.Mutex
+}
+
+func (v valueReceiver) peek() int { // want "value receiver copies valueReceiver, which holds sync/atomic state"
+	return 0
+}

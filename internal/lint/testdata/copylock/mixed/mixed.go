@@ -1,0 +1,28 @@
+// Fixture for the mixed atomic/plain access rule.
+package mixed
+
+import "sync/atomic"
+
+type stats struct {
+	calls int64 // accessed through sync/atomic below
+	other int64 // plain everywhere: fine
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.calls, 1)
+	s.other++
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.calls)
+}
+
+// leak reads the atomically-written field without the atomic API: that
+// read races every bump.
+func (s *stats) leak() int64 {
+	return s.calls // want "plain access to field calls, which is also accessed atomically"
+}
+
+func (s *stats) plainOther() int64 {
+	return s.other
+}

@@ -1,0 +1,42 @@
+// Fixture impersonating an engine package: wall-clock and RNG rules.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: a bare wall-clock read on a result path.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in engine package"
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in engine package"
+}
+
+// Allowed: the annotated metadata site.
+func runtimeMetadata() time.Time {
+	return time.Now() //lint:allow determinism wall-clock metadata outside the canonical result
+}
+
+// Flagged: the process-wide source makes draws depend on unrelated code.
+func globalDraw() int {
+	return rand.Intn(6) // want "global rand.Intn shares process-wide RNG state"
+}
+
+// Flagged: a constant seed replays one fixed stream at every site.
+func fixedStream() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rand.NewSource seeded with constant 42"
+}
+
+// Allowed: the seed carries provenance from an argument (the faultSeed
+// discipline).
+func perFaultStream(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(i)*17))
+}
+
+// Allowed: annotated placeholder, reseeded before use.
+func placeholder() *rand.Rand {
+	return rand.New(rand.NewSource(0)) //lint:allow determinism placeholder; caller reseeds before every draw
+}

@@ -1,0 +1,64 @@
+package engine
+
+import "sort"
+
+type emitterHost struct {
+	OnEvent func(string)
+}
+
+func (h *emitterHost) emitProgress(name string) {
+	if h.OnEvent != nil {
+		h.OnEvent(name)
+	}
+}
+
+// Flagged: the slice inherits randomized map order.
+func keysLeak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside range over map m builds a slice in randomized map order"
+	}
+	return out
+}
+
+// Allowed: annotated because the result is sorted before anyone sees it.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) //lint:allow determinism sorted below before return
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flagged: receivers observe randomized order.
+func drain(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "send on a channel inside range over map m"
+	}
+}
+
+// Flagged: events fire in randomized order.
+func announce(h *emitterHost, m map[string]int) {
+	for k := range m {
+		h.emitProgress(k) // want "emitProgress called inside range over map m"
+	}
+}
+
+// Allowed: order-insensitive aggregation over a map is fine.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Allowed: ranging a slice feeds the sink in a stable order.
+func fromSlice(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+// Fixture impersonating a non-engine package (cmd/tdatpg): the
+// determinism rules do not apply outside the engine set, so none of this
+// is flagged.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockOK() time.Time { return time.Now() }
+
+func globalOK() int { return rand.Intn(6) }
+
+func mapOK(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

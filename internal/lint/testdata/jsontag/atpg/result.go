@@ -1,0 +1,31 @@
+// Fixture impersonating fogbuster/pkg/atpg: structs on the canonical JSON
+// surface must tag every exported field.
+package atpg
+
+import "time"
+
+// Result mirrors the real canonical document shape.
+type Result struct {
+	Circuit string        `json:"circuit"`
+	Tested  int           `json:"tested"`
+	Runtime time.Duration `json:"runtime_ns"`
+	// Steals is deliberately outside the canonical bytes.
+	Steals int `json:"-"`
+	// Drift silently joins the document under its Go name.
+	Drift int // want "exported field Result.Drift has no json tag"
+
+	internalCursor int // unexported: not part of the encoding contract
+}
+
+// Options carries no json tags at all, so it is not a JSON-encoded struct
+// and the rule stays quiet.
+type Options struct {
+	Workers int
+	Verbose bool
+}
+
+// Summary has an embedded field joining the document untagged.
+type Summary struct {
+	Result        // want "exported field Summary.Result has no json tag"
+	Order  string `json:"order"`
+}

@@ -1,0 +1,60 @@
+// Fixture impersonating fogbuster/internal/sim: exported batched kernels
+// must be reachable from a *Matches* equivalence test.
+package kernels
+
+// Paired64 is covered: TestPaired64MatchesScalar reaches it through the
+// compare helper.
+func Paired64(words []uint64) uint64 {
+	var acc uint64
+	for _, w := range words {
+		acc ^= w
+	}
+	return acc
+}
+
+// PairedScalar is the scalar oracle of Paired64.
+func PairedScalar(words []uint64) uint64 {
+	var acc uint64
+	for _, w := range words {
+		acc ^= w
+	}
+	return acc
+}
+
+// Orphan64 has no equivalence test anywhere.
+func Orphan64(words []uint64) uint64 { // want "exported batched kernel Orphan64 is not reachable from any"
+	var acc uint64
+	for _, w := range words {
+		acc += w
+	}
+	return acc
+}
+
+// OrphanBatch is equally uncovered.
+func OrphanBatch(words []uint64) int { // want "exported batched kernel OrphanBatch is not reachable from any"
+	return len(words)
+}
+
+//lint:allow oraclepair pure accessor over the batch, nothing to cross-check
+func Accessor64(words []uint64) int {
+	return len(words)
+}
+
+// helper64 is unexported: reachability is demanded of the exported
+// surface only.
+func helper64(words []uint64) uint64 {
+	return Paired64(words)
+}
+
+// Mixer is a receiver type so the fixture exercises method kernels too.
+type Mixer struct{ bias uint64 }
+
+// Mix64 is covered through the test's direct method call.
+func (m *Mixer) Mix64(w uint64) uint64 {
+	return w ^ m.bias
+}
+
+// Lost64 is an uncovered method kernel.
+func (m *Mixer) Lost64(w uint64) uint64 { // want "exported batched kernel Lost64 is not reachable from any"
+	return w &^ m.bias
+}

@@ -1,0 +1,37 @@
+package kernels
+
+import "testing"
+
+// compare is a helper between the test and the kernel: reachability is
+// transitive through any chain of same-package calls.
+func compare(t *testing.T, words []uint64) {
+	if Paired64(words) != PairedScalar(words) {
+		t.Fatal("kernel disagrees with scalar oracle")
+	}
+}
+
+func TestPaired64MatchesScalar(t *testing.T) {
+	compare(t, []uint64{1, 2, 3})
+}
+
+func TestMix64MatchesScalar(t *testing.T) {
+	m := &Mixer{bias: 7}
+	if m.Mix64(5) != 5^7 {
+		t.Fatal("mix kernel wrong")
+	}
+}
+
+// TestOrphanishSum uses Orphan64, but its name does not mark it as an
+// equivalence test, so Orphan64 stays uncovered.
+func TestOrphanishSum(t *testing.T) {
+	if Orphan64([]uint64{1}) != 1 {
+		t.Fatal("unexpected sum")
+	}
+}
+
+func BenchmarkOrphanBatch(b *testing.B) {
+	// Benchmarks are not oracles either.
+	for i := 0; i < b.N; i++ {
+		OrphanBatch(nil)
+	}
+}

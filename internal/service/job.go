@@ -151,7 +151,7 @@ func (j *job) requestCancel() {
 		j.cancelled = true
 		j.state = StateDone
 		j.errMsg = context.Canceled.Error()
-		j.finished = time.Now()
+		j.finished = time.Now() //lint:allow determinism job wall-clock metadata; never part of a canonical result
 	case StateRunning:
 		j.cancelled = true
 		fire = j.cancel
@@ -181,7 +181,7 @@ func (j *job) finish(body []byte, runtime time.Duration, runErr error, fromCache
 	if runErr != nil {
 		j.errMsg = runErr.Error()
 	}
-	j.finished = time.Now()
+	j.finished = time.Now() //lint:allow determinism job wall-clock metadata; never part of a canonical result
 	j.mu.Unlock()
 	j.events.finish()
 }

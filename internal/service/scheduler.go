@@ -159,9 +159,13 @@ func (s *scheduler) close() {
 		return
 	}
 	s.closed = true
+	// Walk the insertion-order slice, not the map: cancellation order is
+	// observable (events, logs), and map order would shuffle it per run.
 	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 

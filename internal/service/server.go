@@ -268,7 +268,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cacheKey:    circuit.ContentHash() + "\x00" + cfgKey,
 		timeout:     timeout,
 		events:      newEventLog(s.opts.MaxEventsPerJob),
-		created:     time.Now(),
+		created:     time.Now(), //lint:allow determinism job wall-clock metadata; never part of a canonical result
 		state:       StateQueued,
 	}
 	if err := s.sched.submit(j); err != nil {
@@ -333,7 +333,7 @@ func (s *Server) resumeJob(circuit *atpg.Circuit, ckpt *atpg.Checkpoint, timeout
 		cacheKey:    circuit.ContentHash() + "\x00" + cfgKey,
 		timeout:     timeout,
 		events:      newEventLog(s.opts.MaxEventsPerJob),
-		created:     time.Now(),
+		created:     time.Now(), //lint:allow determinism job wall-clock metadata; never part of a canonical result
 		state:       StateQueued,
 		resume:      &ck,
 		resumedFrom: from,

@@ -62,16 +62,6 @@ func (n *Net) Eval64(vals []Word) {
 	}
 }
 
-// NextState64 extracts the PPO words after Eval64.
-func (n *Net) NextState64(vals []Word) []Word {
-	t := n.T
-	next := make([]Word, len(t.C.DFFs))
-	for i, ff := range t.C.DFFs {
-		next[i] = vals[t.Fanin[t.FaninOff[ff]]]
-	}
-	return next
-}
-
 // LoadFrame64 fills a fresh word array with PI and state words.
 func (n *Net) LoadFrame64(vector, state []Word) []Word {
 	c := n.C
